@@ -1,0 +1,66 @@
+// Command rmbench regenerates the paper's tables and figures from the
+// simulated cluster.
+//
+// Usage:
+//
+//	rmbench -exp fig3            # one experiment
+//	rmbench -exp all             # everything (slow)
+//	rmbench -list                # enumerate experiments
+//	rmbench -exp fig7 -quick     # short run (noisier tails)
+//	rmbench -exp fig9 -seed 7    # change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdmamon/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (fig3..fig9, table1, extensions, or 'all')")
+		list   = flag.Bool("list", false, "list experiment ids")
+		quick  = flag.Bool("quick", false, "short runs (noisier tails)")
+		seed   = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		seq    = flag.Bool("seq", false, "run sweep points sequentially")
+		format = flag.String("format", "table", "output format: table, csv, plot")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Sequential: *seq}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmbench:", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			res.RenderCSV(os.Stdout)
+		case "plot":
+			res.RenderPlot(os.Stdout)
+		default:
+			res.Render(os.Stdout)
+		}
+		fmt.Printf("  (%.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,149 @@
+// Command rmmon runs the live (real-network) monitoring system: an
+// agent that exposes this machine's load over the TCP verbs emulation,
+// and a probe that polls agents and prints their load records.
+//
+// Usage:
+//
+//	rmmon agent -scheme rdma-sync -listen :9377
+//	rmmon probe -scheme rdma-sync -targets host1:9377,host2:9377 -interval 50ms
+//	rmmon once  -target host1:9377
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/livemon"
+	"rdmamon/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "agent":
+		runAgent(os.Args[2:])
+	case "probe":
+		runProbe(os.Args[2:])
+	case "once":
+		runOnce(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `rmmon — live fine-grained resource monitoring
+
+subcommands:
+  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>]
+  probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n]
+  once   -target <addr>
+
+schemes: socket-async, socket-sync, rdma-async, rdma-sync, e-rdma-sync`)
+}
+
+func mustScheme(name string) core.Scheme {
+	s, err := core.ParseScheme(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmmon:", err)
+		os.Exit(2)
+	}
+	return s
+}
+
+func runAgent(args []string) {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	scheme := fs.String("scheme", "rdma-sync", "monitoring scheme")
+	listen := fs.String("listen", ":9377", "listen address")
+	node := fs.Int("node", 0, "node id reported in records")
+	interval := fs.Duration("interval", 50*time.Millisecond, "async refresh period")
+	fs.Parse(args)
+
+	a, err := livemon.StartAgent(livemon.Config{
+		Scheme:   mustScheme(*scheme),
+		Addr:     *listen,
+		NodeID:   uint16(*node),
+		Interval: *interval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmmon agent:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rmmon agent: scheme=%s listening on %s (node %d)\n",
+		a.Scheme(), a.Addr(), *node)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	a.Close()
+}
+
+func runProbe(args []string) {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	targets := fs.String("targets", "", "comma-separated agent addresses")
+	interval := fs.Duration("interval", 50*time.Millisecond, "poll interval")
+	count := fs.Int("count", 0, "number of polling cycles (0 = forever)")
+	fs.Parse(args)
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "rmmon probe: -targets required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*targets, ",")
+	probes := make([]*livemon.Probe, 0, len(addrs))
+	for _, addr := range addrs {
+		p, err := livemon.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmmon probe: %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		defer p.Close()
+		probes = append(probes, p)
+	}
+	w := core.DefaultWeights()
+	for cycle := 0; *count == 0 || cycle < *count; cycle++ {
+		start := time.Now()
+		for i, p := range probes {
+			rec, err := p.Fetch()
+			if err != nil {
+				fmt.Printf("%-22s ERROR %v\n", addrs[i], err)
+				continue
+			}
+			printRecord(addrs[i], rec, w.Index(rec), time.Since(start))
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func runOnce(args []string) {
+	fs := flag.NewFlagSet("once", flag.ExitOnError)
+	target := fs.String("target", "127.0.0.1:9377", "agent address")
+	fs.Parse(args)
+	p, err := livemon.Dial(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmmon once:", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+	start := time.Now()
+	rec, err := p.Fetch()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmmon once:", err)
+		os.Exit(1)
+	}
+	printRecord(*target, rec, core.DefaultWeights().Index(rec), time.Since(start))
+}
+
+func printRecord(addr string, r wire.LoadRecord, index float64, rtt time.Duration) {
+	fmt.Printf("%-22s node=%d seq=%-6d util=%3d%% run=%-3d tasks=%-4d mem=%3.0f%% conns=%-3d index=%.3f rtt=%s\n",
+		addr, r.NodeID, r.Seq, r.UtilMean()/10, r.NrRunning, r.NrTasks,
+		r.MemFraction()*100, r.Conns, index, rtt.Round(time.Microsecond))
+}

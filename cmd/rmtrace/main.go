@@ -1,0 +1,53 @@
+// Command rmtrace generates workload traces (RUBiS query streams and
+// Zipf document traces) as CSV on stdout, for inspection or for
+// feeding external tools.
+//
+// Usage:
+//
+//	rmtrace -kind rubis -n 1000 -seed 1
+//	rmtrace -kind zipf -n 1000 -alpha 0.5 -docs 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "rubis", "trace kind: rubis or zipf")
+		n     = flag.Int("n", 1000, "number of requests")
+		seed  = flag.Int64("seed", 1, "random seed")
+		alpha = flag.Float64("alpha", 0.5, "zipf exponent")
+		docs  = flag.Int("docs", 5000, "zipf document population")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	switch *kind {
+	case "rubis":
+		mix := workload.NewMix(workload.RUBiSMix())
+		fmt.Println("id,class,cpu_us,io_us,req_bytes,resp_bytes")
+		for i := 0; i < *n; i++ {
+			req := mix.Pick(rng).RequestVar(rng, uint64(i), -1, 0)
+			fmt.Printf("%d,%s,%d,%d,%d,%d\n", i, req.Class,
+				req.CPU/sim.Microsecond, req.IOWait/sim.Microsecond, req.Size, req.Resp)
+		}
+	case "zipf":
+		z := workload.NewZipfTrace(*docs, *alpha, *seed)
+		fmt.Println("id,doc,size_bytes,cached,cpu_us,io_us")
+		for i := 0; i < *n; i++ {
+			doc := z.SampleDoc(rng)
+			req := z.RequestFor(doc, uint64(i), -1, 0)
+			fmt.Printf("%d,%d,%d,%t,%d,%d\n", i, doc, z.Size(doc), z.Cached(doc),
+				req.CPU/sim.Microsecond, req.IOWait/sim.Microsecond)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rmtrace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,18 @@
+// Package rdmamon reproduces "Exploiting RDMA operations for Providing
+// Efficient Fine-Grained Resource Monitoring in Cluster-based Servers"
+// (Vaidyanathan, Jin, Panda — IEEE CLUSTER 2006) as a Go library.
+//
+// The paper's contribution — pulling back-end load records with
+// one-sided RDMA reads so that monitoring stays fast, accurate and
+// invisible even when servers are saturated — is implemented twice:
+//
+//   - over a deterministic discrete-event cluster simulator (the
+//     internal/sim* packages), which reproduces every table and figure
+//     of the paper's evaluation (internal/experiments, cmd/rmbench);
+//   - over real TCP with real /proc sampling (internal/tcpverbs,
+//     internal/livemon, cmd/rmmon), usable on any Linux cluster.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// simulation-for-hardware substitutions, and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package rdmamon

@@ -1,0 +1,60 @@
+// Ganglia example: deploy a ganglia group over a simulated cluster,
+// wire fine-grained monitoring records into gmetric, and show how the
+// choice of scheme changes (a) what the group learns and (b) what the
+// monitoring costs the back-ends.
+//
+//	go run ./examples/ganglia
+package main
+
+import (
+	"fmt"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/ganglia"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/workload"
+)
+
+func main() {
+	fmt.Println("Ganglia with gmetric-fed fine-grained load records (T=4ms)")
+	fmt.Println()
+	fmt.Printf("%-13s %12s %12s %14s %12s\n",
+		"scheme", "published", "gmondRounds", "appDelay(%)", "probes")
+	for _, scheme := range core.FourSchemes() {
+		eng := sim.NewEngine(3)
+		fab := simnet.NewFabric(eng, simnet.Defaults())
+
+		var nodes []*simos.Node
+		var nics []*simnet.NIC
+		for i := 0; i < 4; i++ {
+			n := simos.NewNode(eng, i, simos.NodeDefaults())
+			nodes = append(nodes, n)
+			nics = append(nics, fab.Attach(n))
+		}
+		g := ganglia.Deploy(fab, nodes, nics, ganglia.Defaults())
+
+		// An application doing real work on back-end node 1 while the
+		// fine-grained monitoring runs.
+		app := workload.StartFPApp(nodes[1], 2, 10*sim.Millisecond)
+
+		var agents []*core.Agent
+		for i := 1; i < 4; i++ {
+			agents = append(agents, core.StartAgent(nodes[i], nics[i], core.AgentConfig{
+				Scheme: scheme, Interval: 4 * sim.Millisecond,
+			}))
+		}
+		mon := core.StartMonitor(nodes[0], nics[0], agents, 4*sim.Millisecond)
+		g.WireFineGrained(mon)
+
+		eng.RunUntil(5 * sim.Second)
+
+		fmt.Printf("%-13s %12d %12d %14.2f %12d\n",
+			scheme, g.Gmetric.Published, g.Gmonds[1].Rounds,
+			app.Delays.Mean()*100, mon.Cycles)
+	}
+	fmt.Println()
+	fmt.Println("RDMA-Sync feeds ganglia at 4ms granularity without slowing the")
+	fmt.Println("application at all; the socket schemes tax it (paper §5.2.2).")
+}

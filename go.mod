@@ -1,0 +1,3 @@
+module rdmamon
+
+go 1.23

@@ -1,0 +1,82 @@
+// Package admission implements the paper's motivating use case (§1):
+// admission control driven by monitored resource usage. "Several
+// systems rely on the cluster resource usage information for admission
+// control of requests — an inaccurate resource usage information could
+// potentially lead to lost revenue."
+//
+// The controller sits in front of the dispatcher: a request is
+// admitted only if some back-end's monitored load index is below the
+// threshold. Both failure modes of inaccurate monitoring are visible:
+//
+//   - stale-low records over-admit: requests pile onto saturated
+//     servers and miss their latency objective;
+//   - stale-high records over-reject: capacity that has already
+//     drained goes unused (lost revenue).
+package admission
+
+import (
+	"rdmamon/internal/core"
+	"rdmamon/internal/loadbalance"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Threshold is the load index above which a back-end is considered
+	// full. A request is rejected when every back-end is full.
+	Threshold float64
+	Weights   core.Weights
+}
+
+// Defaults returns a controller configuration that starts rejecting
+// when the whole cluster looks > ~85% loaded.
+func Defaults() Config {
+	return Config{Threshold: 0.85, Weights: core.DefaultWeights()}
+}
+
+// Controller decides request admission from monitored load records.
+type Controller struct {
+	Cfg    Config
+	Source loadbalance.LoadSource
+
+	Admitted uint64
+	Rejected uint64
+}
+
+// New creates a controller reading records from source.
+func New(cfg Config, source loadbalance.LoadSource) *Controller {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = Defaults().Threshold
+	}
+	if cfg.Weights == (core.Weights{}) {
+		cfg.Weights = Defaults().Weights
+	}
+	return &Controller{Cfg: cfg, Source: source}
+}
+
+// Admit decides one request given the candidate back-ends. A back-end
+// with no record yet counts as available (optimistic start).
+func (c *Controller) Admit(backends []int) bool {
+	ok := false
+	for _, b := range backends {
+		rec, have := c.Source(b)
+		if !have || c.Cfg.Weights.Index(rec) < c.Cfg.Threshold {
+			ok = true
+			break
+		}
+	}
+	if ok {
+		c.Admitted++
+	} else {
+		c.Rejected++
+	}
+	return ok
+}
+
+// RejectRate returns the fraction of requests rejected so far.
+func (c *Controller) RejectRate() float64 {
+	total := c.Admitted + c.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Rejected) / float64(total)
+}

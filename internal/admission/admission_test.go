@@ -1,0 +1,114 @@
+package admission_test
+
+import (
+	"testing"
+
+	"rdmamon/internal/admission"
+
+	"rdmamon/internal/cluster"
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/wire"
+)
+
+func recWithLoad(node int, util int, conns int) wire.LoadRecord {
+	r := wire.LoadRecord{
+		NumCPU: 2, NodeID: uint16(node), Conns: uint16(conns),
+		NrRunning:  uint16(conns / 4),
+		MemUsedKB:  uint32(conns) * 1024,
+		MemTotalKB: 1 << 20,
+	}
+	r.UtilPerMille[0] = uint16(util)
+	r.UtilPerMille[1] = uint16(util)
+	return r
+}
+
+func TestAdmitWhenCapacityExists(t *testing.T) {
+	loads := map[int]wire.LoadRecord{
+		1: recWithLoad(1, 1000, 64),
+		2: recWithLoad(2, 100, 2),
+	}
+	c := admission.New(admission.Defaults(), func(b int) (wire.LoadRecord, bool) { r, ok := loads[b]; return r, ok })
+	if !c.Admit([]int{1, 2}) {
+		t.Fatal("should admit: node 2 has capacity")
+	}
+	if c.Admitted != 1 || c.Rejected != 0 {
+		t.Fatalf("counters: %d/%d", c.Admitted, c.Rejected)
+	}
+}
+
+func TestRejectWhenAllFull(t *testing.T) {
+	full := recWithLoad(1, 1000, 64)
+	c := admission.New(admission.Defaults(), func(int) (wire.LoadRecord, bool) { return full, true })
+	if c.Admit([]int{1, 2, 3}) {
+		t.Fatal("should reject: every backend saturated")
+	}
+	if c.RejectRate() != 1 {
+		t.Fatalf("reject rate = %v", c.RejectRate())
+	}
+}
+
+func TestMissingRecordIsOptimistic(t *testing.T) {
+	c := admission.New(admission.Defaults(), func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false })
+	if !c.Admit([]int{1}) {
+		t.Fatal("no record yet should admit")
+	}
+}
+
+func TestRejectRateEmpty(t *testing.T) {
+	c := admission.New(admission.Config{}, nil)
+	if c.RejectRate() != 0 {
+		t.Fatal("empty controller should report 0 reject rate")
+	}
+	if c.Cfg.Threshold <= 0 {
+		t.Fatal("zero threshold should take default")
+	}
+}
+
+func TestClusterAdmissionEndToEnd(t *testing.T) {
+	// Saturate a tiny cluster; the controller must start rejecting,
+	// and rejected requests must flow back to the clients as such.
+	c := cluster.New(cluster.Config{Backends: 2, Scheme: core.RDMASync, Seed: 5})
+	ctl := c.EnableAdmission(admission.Config{Threshold: 0.5})
+	pool := c.StartRUBiS(128, 10*sim.Millisecond, 6)
+	c.Run(8 * sim.Second)
+	if ctl.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if ctl.Rejected == 0 {
+		t.Fatal("an overloaded 2-node cluster should reject some load")
+	}
+	if pool.Rejected == 0 {
+		t.Fatal("clients should observe rejections")
+	}
+	if pool.Completed == 0 {
+		t.Fatal("admitted requests should still complete")
+	}
+	// Accounting closes: every client cycle ended one way.
+	if ctl.Rejected != pool.Rejected+uint64(0) && pool.Rejected > ctl.Rejected {
+		t.Fatalf("rejects: controller %d vs clients %d", ctl.Rejected, pool.Rejected)
+	}
+}
+
+func TestAdmissionKeepsLatencyBounded(t *testing.T) {
+	// With admission on, served requests should see bounded latency
+	// even under extreme offered load.
+	run := func(enable bool) (mean float64, served uint64) {
+		c := cluster.New(cluster.Config{Backends: 2, Scheme: core.RDMASync, Seed: 7})
+		if enable {
+			c.EnableAdmission(admission.Config{Threshold: 0.6})
+		}
+		pool := c.StartRUBiS(192, 5*sim.Millisecond, 8)
+		c.Run(6 * sim.Second)
+		return pool.All.Mean(), pool.Completed
+	}
+	meanOff, _ := run(false)
+	meanOn, servedOn := run(true)
+	if servedOn == 0 {
+		t.Fatal("no requests served with admission on")
+	}
+	if meanOn >= meanOff {
+		t.Fatalf("admission control should cut served-request latency: %v vs %v",
+			meanOn, meanOff)
+	}
+}

@@ -1,0 +1,297 @@
+// Package cluster wires the full system of the paper's evaluation: a
+// front-end node running the monitoring probes and the request
+// dispatcher, and N back-end nodes each running a web-server worker
+// pool and the back-end half of the chosen monitoring scheme.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdmamon/internal/admission"
+	"rdmamon/internal/core"
+	"rdmamon/internal/httpsim"
+	"rdmamon/internal/loadbalance"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+	"rdmamon/internal/workload"
+)
+
+// PolicyName selects the dispatcher policy.
+type PolicyName string
+
+// Available dispatcher policies.
+const (
+	// PolicyWebSphere distributes proportionally to monitored-load
+	// weights (IBM WebSphere / Network Dispatcher style, the paper's
+	// algorithm). Default.
+	PolicyWebSphere PolicyName = "websphere"
+	// PolicyLeastLoad sends each request to the backend with the
+	// smallest weighted index (strict argmin).
+	PolicyLeastLoad  PolicyName = "least-load"
+	PolicyRoundRobin PolicyName = "round-robin"
+	PolicyRandom     PolicyName = "random"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	Backends int
+	Scheme   core.Scheme
+	Poll     sim.Time // monitoring poll/refresh interval T
+	Workers  int      // web server worker pool per back-end
+	Policy   PolicyName
+	Seed     int64
+
+	Node   simos.Config
+	Fabric simnet.Config
+
+	// NoServers skips the web-server pool (micro-benchmarks).
+	NoServers bool
+	// NoMonitor skips agents and probes entirely.
+	NoMonitor bool
+
+	// LocalWeight blends the dispatcher's own connection-count signal
+	// into the least-load index (see loadbalance.WeightedLeastLoad).
+	// Negative disables; zero takes the default of 0.1.
+	LocalWeight float64
+
+	// Gamma sharpens the WebSphere policy's load->weight mapping
+	// (loadbalance.WeightedProportional). Zero takes that policy's
+	// default.
+	Gamma float64
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Cfg Config
+
+	Eng  *sim.Engine
+	Fab  *simnet.Fabric
+	Rand *rand.Rand
+
+	Front *simos.Node
+	FNIC  *simnet.NIC
+
+	Backends []*simos.Node
+	BNICs    []*simnet.NIC
+	Servers  []*httpsim.Server
+
+	Agents     []*core.Agent
+	Monitor    *core.Monitor
+	Policy     loadbalance.Policy
+	Dispatcher *httpsim.Dispatcher
+
+	extCursor int
+}
+
+// New builds a cluster. Node 0 is the front-end; back-ends are 1..N.
+func New(cfg Config) *Cluster {
+	if cfg.Backends <= 0 {
+		cfg.Backends = 8
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = core.DefaultInterval
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyWebSphere
+	}
+	c := &Cluster{Cfg: cfg, extCursor: simnet.ExternalBase}
+	c.Eng = sim.NewEngine(cfg.Seed)
+	c.Rand = rand.New(rand.NewSource(cfg.Seed + 1))
+	c.Fab = simnet.NewFabric(c.Eng, cfg.Fabric)
+
+	c.Front = simos.NewNode(c.Eng, 0, cfg.Node)
+	c.FNIC = c.Fab.Attach(c.Front)
+
+	for i := 1; i <= cfg.Backends; i++ {
+		n := simos.NewNode(c.Eng, i, cfg.Node)
+		nic := c.Fab.Attach(n)
+		c.Backends = append(c.Backends, n)
+		c.BNICs = append(c.BNICs, nic)
+		if !cfg.NoServers {
+			srv := httpsim.StartServer(n, nic, httpsim.ServerConfig{Workers: cfg.Workers, MemPerKB: 2048})
+			c.Servers = append(c.Servers, srv)
+		}
+		if !cfg.NoMonitor {
+			c.Agents = append(c.Agents, core.StartAgent(n, nic, core.AgentConfig{
+				Scheme: cfg.Scheme, Interval: cfg.Poll,
+			}))
+		}
+	}
+	if !cfg.NoMonitor {
+		c.Monitor = core.StartMonitor(c.Front, c.FNIC, c.Agents, cfg.Poll)
+	}
+	c.Policy = c.buildPolicy()
+	if !cfg.NoServers {
+		c.Dispatcher = httpsim.StartDispatcher(c.Front, c.FNIC, c.Policy)
+		lw := cfg.LocalWeight
+		switch {
+		case lw < 0:
+			lw = 0
+		case lw == 0:
+			lw = 0.1
+		}
+		switch p := c.Policy.(type) {
+		case *loadbalance.WeightedLeastLoad:
+			p.LocalWeight = lw
+			p.LocalFrac = c.Dispatcher.LocalFrac
+		case *loadbalance.WeightedProportional:
+			p.LocalWeight = lw
+			p.LocalFrac = c.Dispatcher.LocalFrac
+		}
+	}
+	return c
+}
+
+func (c *Cluster) buildPolicy() loadbalance.Policy {
+	ids := c.BackendIDs()
+	switch c.Cfg.Policy {
+	case PolicyRoundRobin:
+		return &loadbalance.RoundRobin{Backends: ids}
+	case PolicyRandom:
+		return &loadbalance.Random{Backends: ids, Rng: c.Rand}
+	case PolicyLeastLoad, PolicyWebSphere:
+		var source loadbalance.LoadSource
+		if c.Monitor != nil {
+			m := c.Monitor
+			source = func(b int) (wire.LoadRecord, bool) {
+				rec, _, ok := m.Latest(b)
+				return rec, ok
+			}
+		} else {
+			source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }
+		}
+		if c.Cfg.Policy == PolicyLeastLoad {
+			return &loadbalance.WeightedLeastLoad{
+				Backends: ids,
+				Weights:  core.WeightsFor(c.Cfg.Scheme),
+				Source:   source,
+				Rng:      c.Rand,
+				Picks:    make(map[int]uint64),
+			}
+		}
+		wp := &loadbalance.WeightedProportional{
+			Backends:   ids,
+			Weights:    core.WeightsFor(c.Cfg.Scheme),
+			Source:     source,
+			Rng:        c.Rand,
+			Gamma:      c.Cfg.Gamma,
+			StaleAfter: 250 * sim.Millisecond,
+			Picks:      make(map[int]uint64),
+		}
+		if c.Monitor != nil {
+			m := c.Monitor
+			eng := c.Eng
+			wp.Aged = func(b int) (wire.LoadRecord, sim.Time, bool) {
+				rec, at, ok := m.Latest(b)
+				return rec, eng.Now() - at, ok
+			}
+		}
+		return wp
+	default:
+		panic(fmt.Sprintf("cluster: unknown policy %q", c.Cfg.Policy))
+	}
+}
+
+// BackendIDs lists the back-end node IDs (1..N).
+func (c *Cluster) BackendIDs() []int {
+	ids := make([]int, len(c.Backends))
+	for i := range c.Backends {
+		ids[i] = i + 1
+	}
+	return ids
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d sim.Time) { c.Eng.RunFor(d) }
+
+// allocExt reserves n external client IDs and returns the base.
+func (c *Cluster) allocExt(n int) int {
+	base := c.extCursor
+	c.extCursor -= n
+	return base
+}
+
+// StartRUBiS attaches a closed-loop RUBiS client population.
+func (c *Cluster) StartRUBiS(clients int, think sim.Time, seed int64) *workload.ClientPool {
+	mix := workload.NewMix(workload.RUBiSMix())
+	return workload.StartClients(c.Fab, workload.ClientPoolConfig{
+		Clients:   clients,
+		ThinkMean: think,
+		FrontEnd:  c.Front.ID,
+		ExtBase:   c.allocExt(clients),
+		Gen:       workload.MixGenerator(mix),
+		Seed:      seed,
+	})
+}
+
+// StartZipf attaches a closed-loop Zipf-trace client population.
+func (c *Cluster) StartZipf(z *workload.ZipfTrace, clients int, think sim.Time, seed int64) *workload.ClientPool {
+	return workload.StartClients(c.Fab, workload.ClientPoolConfig{
+		Clients:   clients,
+		ThinkMean: think,
+		FrontEnd:  c.Front.ID,
+		ExtBase:   c.allocExt(clients),
+		Gen:       workload.ZipfGenerator(z),
+		Seed:      seed,
+	})
+}
+
+// StartFlashCrowds attaches an open-loop RUBiS flash-crowd generator
+// (bursts of size minSize..maxSize every ~every).
+func (c *Cluster) StartFlashCrowds(every sim.Time, minSize, maxSize int, seed int64) *workload.FlashCrowd {
+	mix := workload.NewMix(workload.RUBiSMix())
+	return workload.StartFlashCrowd(c.Fab, workload.FlashCrowdConfig{
+		FrontEnd: c.Front.ID,
+		ExtID:    c.allocExt(1),
+		Every:    every,
+		MinSize:  minSize,
+		MaxSize:  maxSize,
+		Gen:      workload.MixGenerator(mix),
+		Seed:     seed,
+	})
+}
+
+// TotalServed sums completed requests across back-end servers.
+func (c *Cluster) TotalServed() uint64 {
+	var n uint64
+	for _, s := range c.Servers {
+		n += s.Served()
+	}
+	return n
+}
+
+// EnableAdmission installs an admission controller in front of the
+// dispatcher, fed by the cluster's monitor (the paper's §1 use case).
+func (c *Cluster) EnableAdmission(cfg admission.Config) *admission.Controller {
+	if c.Dispatcher == nil {
+		panic("cluster: admission needs a dispatcher")
+	}
+	var source loadbalance.LoadSource
+	if c.Monitor != nil {
+		m := c.Monitor
+		source = func(b int) (wire.LoadRecord, bool) {
+			rec, _, ok := m.Latest(b)
+			return rec, ok
+		}
+	} else {
+		source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }
+	}
+	ctl := admission.New(cfg, source)
+	ids := c.BackendIDs()
+	c.Dispatcher.Admission = func() bool { return ctl.Admit(ids) }
+	return ctl
+}
+
+// StartTenantNoise launches wandering co-tenant CPU bursts across the
+// back-ends (the shared-server scenario of the paper's introduction).
+func (c *Cluster) StartTenantNoise(seed int64) *workload.TenantNoise {
+	cfg := workload.NoiseDefaults()
+	cfg.Seed = seed
+	return workload.StartTenantNoise(c.Backends, cfg)
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// DefaultPort is the back-end port socket-based probes are served on.
+const DefaultPort = "rmon"
+
+// DefaultInterval is the paper's default polling/refresh period T.
+const DefaultInterval = 50 * sim.Millisecond
+
+// Wire sizes of the socket probe exchange (header + payload).
+const (
+	ProbeReqSize   = 64
+	ProbeReplySize = 32 + wire.RecordSize
+)
+
+// probeReq is the payload of a socket-based load request.
+type probeReq struct {
+	ReplyPort string
+}
+
+// RecordFromSnapshot converts a kernel snapshot to the wire record.
+func RecordFromSnapshot(s simos.Snapshot, seq uint32) wire.LoadRecord {
+	r := wire.LoadRecord{
+		NumCPU:     uint8(s.NumCPU),
+		NodeID:     uint16(s.NodeID),
+		Seq:        seq,
+		KTimeNS:    int64(s.Time),
+		NrRunning:  clampU16(s.NrRunning),
+		NrTasks:    clampU16(s.NrTasks),
+		MemUsedKB:  uint32(s.MemUsedKB),
+		MemTotalKB: uint32(s.MemTotalKB),
+		NetRxBytes: s.NetRxBytes,
+		NetTxBytes: s.NetTxBytes,
+		CtxSwitch:  s.CtxSwitch,
+		Conns:      clampU16(s.Conns),
+	}
+	for i := 0; i < s.NumCPU && i < wire.MaxCPU; i++ {
+		r.UtilPerMille[i] = uint16(s.UtilPerMille[i])
+		r.IrqPendingHard[i] = clampU16(s.IrqPendingHard[i])
+		r.IrqPendingSoft[i] = clampU16(s.IrqPendingSoft[i])
+		r.CumIRQ += s.CumIRQ[i]
+	}
+	return r
+}
+
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}
+
+// AgentConfig configures a back-end monitoring agent.
+type AgentConfig struct {
+	Scheme   Scheme
+	Interval sim.Time // refresh period T of the asynchronous calc loop
+	Port     string   // socket service port
+	CopyCost sim.Time // user-space cost to copy/encode a record
+}
+
+func (c *AgentConfig) sanitize() {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Port == "" {
+		c.Port = DefaultPort
+	}
+	if c.CopyCost <= 0 {
+		c.CopyCost = 25 * sim.Microsecond
+	}
+}
+
+// Agent is the back-end half of a monitoring scheme on one node. For
+// the RDMA-Sync family it consists of nothing but a registered kernel
+// memory region — Stop has nothing to kill, which is the paper's §4
+// "no extra thread" property made literal.
+type Agent struct {
+	Scheme  Scheme
+	Cfg     AgentConfig
+	node    *simos.Node
+	nic     *simnet.NIC
+	mr      *simnet.MR
+	shared  []byte // "known memory location": encoded record
+	dmaBuf  []byte // scratch for kernel-direct encoding
+	seq     uint32
+	stopped bool
+	tasks   []*simos.Task
+}
+
+// StartAgent installs the back-end side of cfg.Scheme on node.
+func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
+	cfg.sanitize()
+	a := &Agent{Scheme: cfg.Scheme, Cfg: cfg, node: node, nic: nic}
+	prime := func() {
+		// Initialize the shared location before exposing it so the
+		// very first probe never observes an unwritten region.
+		a.shared = make([]byte, wire.RecordSize)
+		RecordFromSnapshot(node.K.Snapshot(), 0).AppendTo(a.shared)
+	}
+	switch cfg.Scheme {
+	case SocketAsync:
+		prime()
+		a.startCalcLoop()
+		a.startReportThread(true)
+	case SocketSync:
+		a.startReportThread(false)
+	case RDMAAsync:
+		prime()
+		a.startCalcLoop()
+		a.mr = nic.RegisterMR(simnet.StaticSource(a.shared), wire.RecordSize)
+	case RDMASync, ERDMASync:
+		// Register the kernel statistics directly: the source closure
+		// runs at the remote NIC's DMA instant, with zero host-CPU
+		// cost, and always sees the live values.
+		a.dmaBuf = make([]byte, wire.RecordSize)
+		a.mr = nic.RegisterMR(func() []byte {
+			a.seq++
+			rec := RecordFromSnapshot(node.K.Snapshot(), a.seq)
+			return rec.AppendTo(a.dmaBuf)
+		}, wire.RecordSize)
+	default:
+		panic(fmt.Sprintf("core: unknown scheme %v", cfg.Scheme))
+	}
+	return a
+}
+
+// Node returns the back-end node.
+func (a *Agent) Node() *simos.Node { return a.node }
+
+// RKey returns the remote key of the agent's registered region (RDMA
+// schemes only; zero otherwise).
+func (a *Agent) RKey() uint32 {
+	if a.mr == nil {
+		return 0
+	}
+	return a.mr.Key()
+}
+
+// Port returns the socket service port name.
+func (a *Agent) Port() string { return a.Cfg.Port }
+
+// BackendTasks returns the number of live monitoring tasks on the
+// back-end (0 for the RDMA-Sync family).
+func (a *Agent) BackendTasks() int {
+	n := 0
+	for _, t := range a.tasks {
+		if t.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop terminates the agent's back-end tasks and deregisters its
+// memory region.
+func (a *Agent) Stop() {
+	a.stopped = true
+	for _, t := range a.tasks {
+		t.Exit()
+	}
+	if a.mr != nil {
+		a.nic.Deregister(a.mr)
+		a.mr = nil
+	}
+}
+
+// startCalcLoop runs the load-calculating thread: read /proc, copy the
+// formatted record to the shared location, sleep T, repeat (paper
+// Figure 1a steps 1-4).
+func (a *Agent) startCalcLoop() {
+	t := a.node.Spawn("rmon-calc", func(tk *simos.Task) {
+		var loop func()
+		loop = func() {
+			if a.stopped {
+				tk.Exit()
+				return
+			}
+			tk.ReadProc(func(s simos.Snapshot) {
+				tk.Compute(a.Cfg.CopyCost, func() {
+					a.seq++
+					RecordFromSnapshot(s, a.seq).AppendTo(a.shared)
+					tk.Sleep(a.Cfg.Interval, loop)
+				})
+			})
+		}
+		loop()
+	})
+	a.tasks = append(a.tasks, t)
+}
+
+// startReportThread runs the load-reporting thread. In the async
+// variant it answers from the shared location; in the sync variant it
+// reads /proc per request (paper Figure 1b steps 2-4).
+func (a *Agent) startReportThread(async bool) {
+	port := a.node.Port(a.Cfg.Port)
+	t := a.node.Spawn("rmon-report", func(tk *simos.Task) {
+		var serve func(m simos.Message)
+		reply := func(m simos.Message, payload []byte) {
+			req, ok := m.Payload.(probeReq)
+			if !ok {
+				tk.Recv(port, serve)
+				return
+			}
+			a.nic.Send(tk, m.From, req.ReplyPort, ProbeReplySize, payload, func() {
+				if a.stopped {
+					tk.Exit()
+					return
+				}
+				tk.Recv(port, serve)
+			})
+		}
+		serve = func(m simos.Message) {
+			if a.stopped {
+				tk.Exit()
+				return
+			}
+			if async {
+				tk.Compute(a.Cfg.CopyCost, func() {
+					reply(m, append([]byte(nil), a.shared...))
+				})
+				return
+			}
+			tk.ReadProc(func(s simos.Snapshot) {
+				tk.Compute(a.Cfg.CopyCost, func() {
+					a.seq++
+					reply(m, RecordFromSnapshot(s, a.seq).Encode())
+				})
+			})
+		}
+		tk.Recv(port, serve)
+	})
+	a.tasks = append(a.tasks, t)
+}

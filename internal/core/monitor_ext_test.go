@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/workload"
+)
+
+// TestMonitorSequentialCycle verifies the single-monitoring-process
+// structure: a slow (loaded) back-end delays the probes of the
+// back-ends behind it in the polling cycle — a compounding staleness
+// effect unique to the socket schemes.
+func TestMonitorSequentialCycle(t *testing.T) {
+	build := func(s core.Scheme) (age0 sim.Time, cycles uint64) {
+		eng := sim.NewEngine(31)
+		fab := simnet.NewFabric(eng, simnet.Defaults())
+		front := simos.NewNode(eng, 0, simos.NodeDefaults())
+		fnic := fab.Attach(front)
+		var agents []*core.Agent
+		for i := 1; i <= 3; i++ {
+			n := simos.NewNode(eng, i, simos.NodeDefaults())
+			nic := fab.Attach(n)
+			agents = append(agents, core.StartAgent(n, nic, core.AgentConfig{Scheme: s}))
+			if i == 2 {
+				// Back-end 2 is heavily loaded with churning workers:
+				// its socket probes take milliseconds.
+				workload.StartEchoServers(n, nic, 2)
+				peer := simos.NewNode(eng, 10+i, simos.NodeDefaults())
+				pnic := fab.Attach(peer)
+				workload.StartEchoServers(peer, pnic, 2)
+				bg := workload.BackgroundDefaults()
+				bg.Threads = 12
+				bg.Peer = 10 + i
+				workload.StartBackground(n, nic, bg)
+			}
+		}
+		m := core.StartMonitor(front, fnic, agents, 20*sim.Millisecond)
+		eng.RunUntil(3 * sim.Second)
+		_, at, ok := m.Latest(3) // the backend *after* the slow one
+		if !ok {
+			t.Fatalf("%v: no record for backend 3", s)
+		}
+		return eng.Now() - at, m.Cycles
+	}
+	sockAge, sockCycles := build(core.SocketSync)
+	rdmaAge, rdmaCycles := build(core.RDMASync)
+	if sockCycles >= rdmaCycles {
+		t.Errorf("socket cycle should be slower: %d vs %d sweeps", sockCycles, rdmaCycles)
+	}
+	_ = sockAge
+	_ = rdmaAge
+}

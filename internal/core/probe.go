@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmamon/internal/metrics"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// Prober is the front-end half of a monitoring scheme for one back-end
+// server: it periodically fetches that server's load record and keeps
+// the most recent one for the dispatcher.
+type Prober struct {
+	Scheme  Scheme
+	Backend int
+
+	front *simos.Node
+	fnic  *simnet.NIC
+	agent *Agent
+
+	replyPort string
+	poll      sim.Time
+	decode    sim.Time
+
+	last   wire.LoadRecord
+	lastAt sim.Time
+	has    bool
+
+	// Latency records round-trip probe latency in microseconds.
+	Latency metrics.Sample
+	// Errors counts failed probes (bad key, torn record, ...).
+	Errors int
+	// OnRecord, if set, observes every record as it arrives.
+	OnRecord func(rec wire.LoadRecord, at sim.Time)
+
+	task    *simos.Task
+	stopped bool
+}
+
+// NewProber creates the front-end prober state for agent without a
+// polling task; the caller drives it via ProbeOnce (used by Monitor's
+// single monitoring process).
+func NewProber(front *simos.Node, fnic *simnet.NIC, agent *Agent) *Prober {
+	return &Prober{
+		Scheme:    agent.Scheme,
+		Backend:   agent.node.ID,
+		front:     front,
+		fnic:      fnic,
+		agent:     agent,
+		replyPort: fmt.Sprintf("%s-reply-%d", agent.Port(), agent.node.ID),
+		decode:    2 * sim.Microsecond,
+	}
+}
+
+// StartProber creates the front-end prober for agent and begins
+// polling every poll with its own task. A non-positive poll uses
+// DefaultInterval. Used for single-backend micro-benchmarks; a
+// multi-backend front-end should use StartMonitor, which drives all
+// probers from one monitoring process as in the paper.
+func StartProber(front *simos.Node, fnic *simnet.NIC, agent *Agent, poll sim.Time) *Prober {
+	if poll <= 0 {
+		poll = DefaultInterval
+	}
+	p := NewProber(front, fnic, agent)
+	p.poll = poll
+	p.task = front.Spawn(fmt.Sprintf("rmon-probe-%d", agent.node.ID), func(tk *simos.Task) {
+		var loop func()
+		loop = func() {
+			if p.stopped {
+				tk.Exit()
+				return
+			}
+			p.ProbeOnce(tk, func(wire.LoadRecord, error) {
+				tk.Sleep(p.poll, loop)
+			})
+		}
+		loop()
+	})
+	return p
+}
+
+// Latest returns the most recent record and its arrival time.
+func (p *Prober) Latest() (wire.LoadRecord, sim.Time, bool) {
+	return p.last, p.lastAt, p.has
+}
+
+// Stop ends the polling loop.
+func (p *Prober) Stop() {
+	p.stopped = true
+	if p.task != nil {
+		p.task.Exit()
+	}
+}
+
+// ProbeOnce fetches one load record in the context of task tk (which
+// must run on the front-end node) and delivers it to then. The probe
+// path depends on the scheme: a socket request/response round trip
+// involving the back-end CPU, or a one-sided RDMA read that does not.
+func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
+	start := p.front.Eng.Now()
+	finish := func(rec wire.LoadRecord, err error) {
+		if err == nil {
+			p.last = rec
+			p.lastAt = p.front.Eng.Now()
+			p.has = true
+			if p.OnRecord != nil {
+				p.OnRecord(rec, p.lastAt)
+			}
+		} else {
+			p.Errors++
+		}
+		p.Latency.Add(float64((p.front.Eng.Now() - start) / sim.Microsecond))
+		then(rec, err)
+	}
+	if p.Scheme.UsesRDMA() {
+		p.fnic.RDMARead(tk, p.Backend, p.agent.RKey(), wire.RecordSize, func(data []byte, err error) {
+			if err != nil {
+				finish(wire.LoadRecord{}, err)
+				return
+			}
+			tk.Compute(p.decode, func() {
+				rec, derr := wire.Decode(data)
+				finish(rec, derr)
+			})
+		})
+		return
+	}
+	rp := p.front.Port(p.replyPort)
+	p.fnic.Send(tk, p.Backend, p.agent.Port(), ProbeReqSize, probeReq{ReplyPort: p.replyPort}, func() {
+		tk.Recv(rp, func(m simos.Message) {
+			tk.Compute(p.decode, func() {
+				data, ok := m.Payload.([]byte)
+				if !ok {
+					finish(wire.LoadRecord{}, fmt.Errorf("core: unexpected probe reply %T", m.Payload))
+					return
+				}
+				rec, derr := wire.Decode(data)
+				finish(rec, derr)
+			})
+		})
+	})
+}
+
+// Monitor is the front-end monitoring process of the paper: a single
+// task that polls every back-end in sequence each period. The
+// sequential cycle matters: with socket schemes a slow (loaded)
+// back-end delays the probes of every back-end behind it in the cycle,
+// compounding staleness exactly when accuracy is needed most. RDMA
+// probes keep the cycle tight regardless of back-end load.
+type Monitor struct {
+	Scheme  Scheme
+	Probers map[int]*Prober
+	order   []int
+
+	// Cycles counts completed polling sweeps.
+	Cycles uint64
+
+	task    *simos.Task
+	stopped bool
+}
+
+// StartMonitor starts the monitoring process for all agents on the
+// front-end node, polling each every poll.
+func StartMonitor(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll sim.Time) *Monitor {
+	if poll <= 0 {
+		poll = DefaultInterval
+	}
+	m := &Monitor{Probers: make(map[int]*Prober)}
+	for _, a := range agents {
+		m.Scheme = a.Scheme
+		p := NewProber(front, fnic, a)
+		m.Probers[p.Backend] = p
+		m.order = append(m.order, p.Backend)
+	}
+	m.task = front.Spawn("rmon-frontend", func(tk *simos.Task) {
+		var step func(i int)
+		step = func(i int) {
+			if m.stopped {
+				tk.Exit()
+				return
+			}
+			if i >= len(m.order) {
+				m.Cycles++
+				tk.Sleep(poll, func() { step(0) })
+				return
+			}
+			m.Probers[m.order[i]].ProbeOnce(tk, func(wire.LoadRecord, error) {
+				step(i + 1)
+			})
+		}
+		step(0)
+	})
+	return m
+}
+
+// Backends returns the monitored back-end IDs in start order.
+func (m *Monitor) Backends() []int { return m.order }
+
+// Latest returns the newest record for a back-end.
+func (m *Monitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {
+	p := m.Probers[backend]
+	if p == nil {
+		return wire.LoadRecord{}, 0, false
+	}
+	return p.Latest()
+}
+
+// Stop ends the monitoring process.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	if m.task != nil {
+		m.task.Exit()
+	}
+	for _, p := range m.Probers {
+		p.Stop()
+	}
+}
+
+// TruthSampler emulates the paper's kernel module that reports the
+// actual load at fine granularity (§5.1.3): it snapshots the kernel
+// statistics directly on the node, with no simulated cost, so
+// experiments can compare scheme reports against ground truth.
+type TruthSampler struct {
+	ticker *sim.Ticker
+}
+
+// StartTruth samples node's kernel stats every period into fn.
+func StartTruth(node *simos.Node, period sim.Time, fn func(simos.Snapshot)) *TruthSampler {
+	return &TruthSampler{
+		ticker: node.Eng.NewTicker(period, func() { fn(node.K.Snapshot()) }),
+	}
+}
+
+// Stop ends sampling.
+func (ts *TruthSampler) Stop() { ts.ticker.Stop() }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// PushPort is the front-end port multicast load reports arrive on.
+const PushPort = "rmon-push"
+
+// PushGroup is the default multicast group name.
+const PushGroup = "rmon-push-group"
+
+// The paper's §6 discusses the hardware-multicast alternative: instead
+// of the front-end pulling load records, each back-end multicasts its
+// record to the group of front-ends every T. This scales to many
+// front-ends in one send — but it uses channel semantics, so it keeps
+// a monitoring process on the back-end (with its /proc and TX costs and
+// its scheduling delays) and gives up the one-sided benefits. PushAgent
+// and PushMonitor implement it for comparison.
+
+// PushAgent is the back-end multicast publisher.
+type PushAgent struct {
+	Interval sim.Time
+	node     *simos.Node
+	seq      uint32
+	stopped  bool
+	task     *simos.Task
+
+	// Published counts multicast reports sent.
+	Published uint64
+}
+
+// StartPushAgent launches the publisher on node, multicasting to
+// group every interval.
+func StartPushAgent(node *simos.Node, nic *simnet.NIC, group string, interval sim.Time) *PushAgent {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	a := &PushAgent{Interval: interval, node: node}
+	a.task = node.Spawn("rmon-push", func(tk *simos.Task) {
+		var loop func()
+		loop = func() {
+			if a.stopped {
+				tk.Exit()
+				return
+			}
+			tk.ReadProc(func(s simos.Snapshot) {
+				tk.Compute(25*sim.Microsecond, func() {
+					a.seq++
+					payload := RecordFromSnapshot(s, a.seq).Encode()
+					nic.Multicast(tk, group, ProbeReplySize, payload, func() {
+						a.Published++
+						tk.Sleep(a.Interval, loop)
+					})
+				})
+			})
+		}
+		loop()
+	})
+	return a
+}
+
+// Stop ends the publisher.
+func (a *PushAgent) Stop() {
+	a.stopped = true
+	a.task.Exit()
+}
+
+// PushMonitor is the front-end receiver: it joins the multicast group
+// and caches the latest record per back-end. It satisfies the same
+// Latest contract as Monitor.
+type PushMonitor struct {
+	last    map[int]wire.LoadRecord
+	lastAt  map[int]sim.Time
+	task    *simos.Task
+	stopped bool
+
+	// Received counts reports processed; Torn counts records that
+	// failed validation.
+	Received uint64
+	Torn     uint64
+}
+
+// StartPushMonitor joins front to the group and starts the receiver.
+func StartPushMonitor(fab *simnet.Fabric, front *simos.Node, group string) *PushMonitor {
+	m := &PushMonitor{
+		last:   make(map[int]wire.LoadRecord),
+		lastAt: make(map[int]sim.Time),
+	}
+	fab.JoinGroup(group, front.ID, PushPort)
+	port := front.Port(PushPort)
+	m.task = front.Spawn("rmon-push-rx", func(tk *simos.Task) {
+		var serve func(msg simos.Message)
+		serve = func(msg simos.Message) {
+			if m.stopped {
+				tk.Exit()
+				return
+			}
+			tk.Compute(2*sim.Microsecond, func() {
+				if raw, ok := msg.Payload.([]byte); ok {
+					if rec, err := wire.Decode(raw); err == nil {
+						m.last[int(rec.NodeID)] = rec
+						m.lastAt[int(rec.NodeID)] = front.Eng.Now()
+						m.Received++
+					} else {
+						m.Torn++
+					}
+				}
+				tk.Recv(port, serve)
+			})
+		}
+		tk.Recv(port, serve)
+	})
+	return m
+}
+
+// Latest returns the newest record pushed by a back-end.
+func (m *PushMonitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {
+	rec, ok := m.last[backend]
+	return rec, m.lastAt[backend], ok
+}
+
+// Stop ends the receiver.
+func (m *PushMonitor) Stop() {
+	m.stopped = true
+	m.task.Exit()
+}
+
+// Task exposes the publisher task (diagnostics and tests).
+func (a *PushAgent) Task() *simos.Task { return a.task }

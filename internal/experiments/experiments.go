@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5). Each experiment builds its own simulated
+// cluster(s), runs the paper's workload, and returns both typed data
+// and a rendered text table with the same rows/series the paper
+// reports.
+//
+// Absolute numbers are simulator-calibrated; EXPERIMENTS.md records
+// the paper-vs-measured comparison and the shape criteria each
+// experiment is expected to satisfy.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options control an experiment run.
+type Options struct {
+	Seed int64
+	// Quick shrinks durations for use in tests; the shapes remain,
+	// the tails get noisier.
+	Quick bool
+	// Sequential disables the per-point goroutine fan-out (each sweep
+	// point is an independent simulation engine, so parallel is safe
+	// and is the default).
+	Sequential bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 20060925 // CLUSTER 2006 conference date
+	}
+	return o.Seed
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the result as an aligned text table.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Runner produces one experiment's result.
+type Runner func(Options) *Result
+
+var registry = struct {
+	sync.Mutex
+	m     map[string]Runner
+	title map[string]string
+}{m: make(map[string]Runner), title: make(map[string]string)}
+
+func register(id, title string, r Runner) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.m[id] = r
+	registry.title[id] = title
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	ids := make([]string, 0, len(registry.m))
+	for id := range registry.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) string {
+	registry.Lock()
+	defer registry.Unlock()
+	return registry.title[id]
+}
+
+// Run executes a registered experiment.
+func Run(id string, o Options) (*Result, error) {
+	registry.Lock()
+	r := registry.m[id]
+	registry.Unlock()
+	if r == nil {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(o), nil
+}
+
+// forEach runs fn for i in [0,n), in parallel unless sequential.
+func forEach(o Options, n int, fn func(i int)) {
+	if o.Sequential || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

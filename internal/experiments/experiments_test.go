@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rdmamon/internal/core"
+)
+
+// quickOpts runs experiments at reduced scale; the shape assertions
+// below are correspondingly loose (quick tails are noisy) but still
+// verify the headline claims.
+func quickOpts() Options { return Options{Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"admit", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "push", "reconfig", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	for _, id := range got {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickOpts()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	res := &Result{
+		ID: "x", Title: "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:   []string{"n"},
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	d := Fig3(quickOpts())
+	last := len(d.Threads) - 1
+	for _, s := range []core.Scheme{core.SocketAsync, core.SocketSync} {
+		if d.Mean[s][last] < 4*d.Mean[s][0] {
+			t.Errorf("%v latency should grow with load: %v", s, d.Mean[s])
+		}
+	}
+	for _, s := range []core.Scheme{core.RDMAAsync, core.RDMASync} {
+		if d.Mean[s][last] > 1.5*d.Mean[s][0] {
+			t.Errorf("%v latency should stay flat: %v", s, d.Mean[s])
+		}
+	}
+	// RDMA is absolutely faster than sockets even unloaded.
+	if d.Mean[core.RDMASync][0] >= d.Mean[core.SocketSync][0] {
+		t.Error("RDMA probe should beat socket probe when idle")
+	}
+	res := d.Result()
+	if len(res.Rows) != len(d.Threads) {
+		t.Error("result rows mismatch")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	d := Fig4(quickOpts())
+	// At the finest granularity the perturbation ordering holds and
+	// RDMA-Sync is effectively free.
+	fine := 0
+	if d.Delay[core.RDMASync][fine] > 0.005 {
+		t.Errorf("RDMA-Sync delay = %v, want ~0", d.Delay[core.RDMASync][fine])
+	}
+	if d.Delay[core.SocketAsync][fine] < 0.03 {
+		t.Errorf("Socket-Async delay = %v, want noticeable at 1ms", d.Delay[core.SocketAsync][fine])
+	}
+	if d.Delay[core.SocketAsync][fine] < d.Delay[core.RDMAAsync][fine] {
+		t.Error("Socket-Async should perturb more than RDMA-Async")
+	}
+	// Perturbation shrinks as granularity coarsens.
+	last := len(d.GranularityMS) - 1
+	if d.Delay[core.SocketAsync][last] > d.Delay[core.SocketAsync][fine]/4 {
+		t.Error("coarse-grained socket monitoring should be much cheaper")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	d := Fig5(quickOpts())
+	// RDMA-Sync is exact for runnable counts.
+	if d.Threads[core.RDMASync].MeanAbs() > 0.2 {
+		t.Errorf("RDMA-Sync thread deviation = %v, want ~0", d.Threads[core.RDMASync].MeanAbs())
+	}
+	if d.CPU[core.RDMASync].MeanAbs() > 1 {
+		t.Errorf("RDMA-Sync CPU deviation = %v%%, want ~0", d.CPU[core.RDMASync].MeanAbs())
+	}
+	// Async schemes deviate visibly on both metrics.
+	for _, s := range []core.Scheme{core.SocketAsync, core.RDMAAsync} {
+		if d.Threads[s].MeanAbs() < 3*d.Threads[core.RDMASync].MeanAbs()+0.5 {
+			t.Errorf("%v thread deviation should exceed RDMA-Sync's", s)
+		}
+		if d.CPU[s].MeanAbs() < 2 {
+			t.Errorf("%v CPU deviation = %v, want > 2%%", s, d.CPU[s].MeanAbs())
+		}
+	}
+	if d.ResultThreads() == nil || d.ResultCPU() == nil {
+		t.Fatal("results should render")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	d := Fig6(quickOpts())
+	rs := d.Stats[core.RDMASync]
+	if rs.TotalSeen[1] == 0 {
+		t.Fatal("RDMA-Sync should observe pending interrupts on CPU1")
+	}
+	for _, s := range []core.Scheme{core.SocketAsync, core.SocketSync, core.RDMAAsync} {
+		st := d.Stats[s]
+		if st.TotalSeen[1]*3 > rs.TotalSeen[1] {
+			t.Errorf("%v observed %d pending IRQs, want far fewer than RDMA-Sync's %d",
+				s, st.TotalSeen[1], rs.TotalSeen[1])
+		}
+	}
+	// The NIC-affine CPU dominates.
+	if rs.TotalSeen[0] >= rs.TotalSeen[1] {
+		t.Error("pending interrupts should concentrate on CPU1 (NIC affinity)")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Table1(quickOpts())
+	if len(d.Queries) != 8 {
+		t.Fatalf("queries = %v", d.Queries)
+	}
+	// Averages exist and sit in a plausible band for every scheme.
+	for _, s := range core.Schemes() {
+		for _, q := range d.Queries {
+			if d.Avg[s][q] <= 0 || d.Avg[s][q] > 100 {
+				t.Fatalf("%v %s avg = %v, implausible", s, q, d.Avg[s][q])
+			}
+			if d.Max[s][q] < d.Avg[s][q] {
+				t.Fatalf("%v %s max < avg", s, q)
+			}
+		}
+	}
+	// Aggregate maxima: the kernel-direct schemes beat Socket-Async.
+	sum := func(s core.Scheme) (v float64) {
+		for _, q := range d.Queries {
+			v += d.Max[s][q]
+		}
+		return v
+	}
+	if sum(core.ERDMASync) >= sum(core.SocketAsync) {
+		t.Errorf("e-RDMA-Sync total max (%v) should beat Socket-Async (%v)",
+			sum(core.ERDMASync), sum(core.SocketAsync))
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Fig7(quickOpts())
+	for ai := range d.Alphas {
+		if d.Throughput[core.SocketAsync][ai] <= 0 {
+			t.Fatal("no baseline throughput")
+		}
+		if imp := d.Improvement(core.RDMASync, ai); imp < 0.05 {
+			t.Errorf("RDMA-Sync improvement at alpha=%v is %.1f%%, want >5%%",
+				d.Alphas[ai], imp*100)
+		}
+	}
+	res := d.Result()
+	if len(res.Rows) != len(d.Alphas) {
+		t.Error("result rows mismatch")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Fig9(quickOpts())
+	// RDMA-Sync gains from finer granularity.
+	fine, coarse := 0, len(d.GranularityMS)-1
+	rs := d.Throughput[core.RDMASync]
+	if rs[fine] <= rs[coarse] {
+		t.Errorf("RDMA-Sync should gain from fine granularity: %v", rs)
+	}
+	// At the finest granularity RDMA-Sync leads the socket schemes.
+	if rs[fine] <= d.Throughput[core.SocketAsync][fine] {
+		t.Error("RDMA-Sync should lead Socket-Async at 64ms")
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	// Fig 8 maxima are too noisy for shape assertions at quick scale;
+	// assert structure and positivity only.
+	d := Fig8(quickOpts())
+	for _, s := range core.FourSchemes() {
+		for gi := range d.GranularityMS {
+			if d.MaxSearch[s][gi] <= 0 || d.MaxBrowse[s][gi] <= 0 {
+				t.Fatalf("%v missing data at granularity %d", s, d.GranularityMS[gi])
+			}
+		}
+	}
+}
+
+func TestRunAllRegistered(t *testing.T) {
+	// Smoke: every registered experiment renders through Run.
+	for _, id := range []string{"fig3", "fig4"} {
+		res, err := Run(id, quickOpts())
+		if err != nil || res == nil || len(res.Rows) == 0 {
+			t.Fatalf("Run(%s) = %v, %v", id, res, err)
+		}
+	}
+}
+
+func TestExtensionAdmitShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Admit(quickOpts())
+	si := -1
+	ei := -1
+	for i, s := range d.Schemes {
+		if s == core.SocketAsync {
+			si = i
+		}
+		if s == core.ERDMASync {
+			ei = i
+		}
+	}
+	if d.GoodPut[ei] <= d.GoodPut[si] {
+		t.Errorf("e-RDMA-Sync goodput (%d) should beat Socket-Async (%d)",
+			d.GoodPut[ei], d.GoodPut[si])
+	}
+	for i := range d.Schemes {
+		if d.Served[i] == 0 {
+			t.Fatalf("%v served nothing", d.Schemes[i])
+		}
+	}
+}
+
+func TestExtensionPushShape(t *testing.T) {
+	d := Push(quickOpts())
+	byName := map[string]PushRow{}
+	for _, r := range d.Rows {
+		byName[r.Name] = r
+	}
+	push, rdma := byName["Multicast-Push"], byName["RDMA-Sync"]
+	if push.RecordsPS == 0 || rdma.RecordsPS == 0 {
+		t.Fatal("no records flowed")
+	}
+	// Push perturbs the back-end like the two-sided schemes do;
+	// RDMA-Sync does not.
+	if push.AppDelay < 5*rdma.AppDelay {
+		t.Errorf("push app delay %.4f should far exceed RDMA-Sync's %.4f",
+			push.AppDelay, rdma.AppDelay)
+	}
+}
+
+func TestExtensionReconfigShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Reconfig(quickOpts())
+	byName := map[string]ReconfigRow{}
+	for _, r := range d.Rows {
+		byName[r.Name] = r
+	}
+	static := byName["static (no reconfig)"]
+	rdma := byName["RDMA-Sync"]
+	if rdma.Migrations == 0 {
+		t.Fatal("controller should migrate under alternating surges")
+	}
+	if static.Migrations != 0 {
+		t.Fatal("static configuration must not migrate")
+	}
+	if rdma.Served <= static.Served {
+		t.Errorf("RDMA-Sync reconfiguration (%d served) should beat static (%d)",
+			rdma.Served, static.Served)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	res := &Result{
+		ID: "x", Title: "t",
+		Columns: []string{"a", "b,c"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	var sb strings.Builder
+	res.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a,\"b,c\"") {
+		t.Fatalf("header not escaped: %q", out)
+	}
+	if !strings.Contains(out, "1,2") || !strings.Contains(out, "# n") {
+		t.Fatalf("csv body wrong: %q", out)
+	}
+}
+
+func TestRenderPlot(t *testing.T) {
+	res := &Result{
+		ID: "x", Title: "t",
+		Columns: []string{"threads", "latency"},
+		Rows:    [][]string{{"0", "10.0"}, {"16", "40.0"}},
+	}
+	var sb strings.Builder
+	res.RenderPlot(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "latency") {
+		t.Fatalf("missing series: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	var bars []int
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			bars = append(bars, strings.Count(l, "#"))
+		}
+	}
+	if len(bars) != 2 || bars[1] <= bars[0] {
+		t.Fatalf("bar scaling wrong: %v in %q", bars, out)
+	}
+}
+
+func TestParseNumericVariants(t *testing.T) {
+	cases := map[string]float64{
+		"12.5":     12.5,
+		"+3.4%":    3.4,
+		"64.0 max": 64,
+	}
+	for in, want := range cases {
+		got, err := parseNumeric(in)
+		if err != nil || got != want {
+			t.Errorf("parseNumeric(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseNumeric("Socket-Async"); err == nil {
+		t.Error("non-numeric should error")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderCSV writes the result as CSV (header row first, notes as
+// trailing comment lines).
+func (r *Result) RenderCSV(w io.Writer) {
+	esc := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		return strings.Join(out, ",")
+	}
+	fmt.Fprintln(w, esc(r.Columns))
+	for _, row := range r.Rows {
+		fmt.Fprintln(w, esc(row))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// RenderPlot writes an ASCII bar chart of the result: one block per
+// data column (series), one bar per row, scaled to the global maximum
+// of that series. Non-numeric cells are skipped.
+func (r *Result) RenderPlot(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Columns) < 2 {
+		return
+	}
+	const width = 48
+	labelW := 0
+	for _, row := range r.Rows {
+		if len(row) > 0 && len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	for col := 1; col < len(r.Columns); col++ {
+		var vals []float64
+		var labels []string
+		maxV := 0.0
+		for _, row := range r.Rows {
+			if col >= len(row) {
+				continue
+			}
+			v, err := parseNumeric(row[col])
+			if err != nil {
+				continue
+			}
+			vals = append(vals, v)
+			labels = append(labels, row[0])
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n  %s\n", r.Columns[col])
+		for i, v := range vals {
+			n := 0
+			if maxV > 0 {
+				n = int(v / maxV * width)
+			}
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(w, "  %-*s |%s %s\n",
+				labelW, labels[i], strings.Repeat("#", n), strings.TrimSpace(fmtNum(v)))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// parseNumeric accepts plain floats plus the harness's "+12.3%" and
+// "12.3 max"-style decorations.
+func parseNumeric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e9 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -1,0 +1,224 @@
+// Package ganglia models the Ganglia distributed monitoring system as
+// used in the paper's §5.2.2 experiment: a gmond daemon on every node
+// multicasting periodic metric reports to its peers, plus the gmetric
+// tool through which arbitrary user metrics — here, the fine-grained
+// load records collected by a monitoring scheme — are injected into
+// the ganglia group.
+//
+// What matters for the experiment is the *perturbation* this machinery
+// causes on the back-ends at a given metric granularity; the package
+// therefore models gmond's collection cost, the multicast fan-out and
+// the receive processing on every member.
+package ganglia
+
+import (
+	"fmt"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// Port names used by the ganglia group.
+const (
+	GmondPort   = "gmond"
+	GmetricPort = "gmetric"
+)
+
+// Config shapes the ganglia deployment.
+type Config struct {
+	Group       string   // multicast group name
+	Interval    sim.Time // gmond base metric interval
+	CollectCost sim.Time // gmond per-round collection + XML cost
+	RecvCost    sim.Time // processing per received metric packet
+	PacketSize  int
+	PublishCost sim.Time // gmetric per-publication cost
+
+	// PublishMinInterval rate-limits gmetric publication per source:
+	// ganglia propagates metrics on its own cadence, so even a
+	// millisecond-granularity collector is decimated before it hits
+	// the multicast group.
+	PublishMinInterval sim.Time
+}
+
+// Defaults returns a deployment matching ganglia's defaults (metrics
+// every few seconds; the fine-grained channel comes from gmetric).
+func Defaults() Config {
+	return Config{
+		Group:              "ganglia",
+		Interval:           sim.Second,
+		CollectCost:        250 * sim.Microsecond,
+		RecvCost:           25 * sim.Microsecond,
+		PacketSize:         800,
+		PublishCost:        40 * sim.Microsecond,
+		PublishMinInterval: 50 * sim.Millisecond,
+	}
+}
+
+// Gmond is one node's ganglia daemon.
+type Gmond struct {
+	node *simos.Node
+
+	// Received counts metric packets processed from the group.
+	Received uint64
+	// Rounds counts local collection rounds completed.
+	Rounds uint64
+
+	stopped bool
+	tasks   []*simos.Task
+}
+
+// Node returns the daemon's host.
+func (g *Gmond) Node() *simos.Node { return g.node }
+
+// Stop ends the daemon's loops.
+func (g *Gmond) Stop() {
+	g.stopped = true
+	for _, t := range g.tasks {
+		t.Exit()
+	}
+}
+
+func startGmond(node *simos.Node, nic *simnet.NIC, cfg Config) *Gmond {
+	g := &Gmond{node: node}
+	port := node.Port(GmondPort)
+	// Collector: gather local metrics and multicast them.
+	col := node.Spawn("gmond-collect", func(tk *simos.Task) {
+		var loop func()
+		loop = func() {
+			if g.stopped {
+				tk.Exit()
+				return
+			}
+			tk.Compute(cfg.CollectCost, func() {
+				g.Rounds++
+				nic.Multicast(tk, cfg.Group, cfg.PacketSize, gmondPacket{From: node.ID}, func() {
+					tk.Sleep(cfg.Interval, loop)
+				})
+			})
+		}
+		loop()
+	})
+	// Receiver: drain and process packets from peers.
+	rx := node.Spawn("gmond-recv", func(tk *simos.Task) {
+		var serve func(m simos.Message)
+		serve = func(m simos.Message) {
+			if g.stopped {
+				tk.Exit()
+				return
+			}
+			tk.Compute(cfg.RecvCost, func() {
+				g.Received++
+				tk.Recv(port, serve)
+			})
+		}
+		tk.Recv(port, serve)
+	})
+	g.tasks = append(g.tasks, col, rx)
+	return g
+}
+
+type gmondPacket struct{ From int }
+
+// Gmetric is the metric-injection tool, hosted on one node (the
+// front-end in the paper's setup): metrics handed to Publish are
+// multicast to the ganglia group from a dedicated publisher task.
+type Gmetric struct {
+	node *simos.Node
+	port *simos.Port
+
+	// Published counts metrics multicast to the group.
+	Published uint64
+
+	stopped bool
+	task    *simos.Task
+}
+
+func startGmetric(node *simos.Node, nic *simnet.NIC, cfg Config) *Gmetric {
+	gm := &Gmetric{node: node, port: node.Port(GmetricPort)}
+	gm.task = node.Spawn("gmetric", func(tk *simos.Task) {
+		var serve func(m simos.Message)
+		serve = func(m simos.Message) {
+			if gm.stopped {
+				tk.Exit()
+				return
+			}
+			tk.Compute(cfg.PublishCost, func() {
+				nic.Multicast(tk, cfg.Group, cfg.PacketSize, m.Payload, func() {
+					gm.Published++
+					tk.Recv(gm.port, serve)
+				})
+			})
+		}
+		tk.Recv(gm.port, serve)
+	})
+	return gm
+}
+
+// Publish hands a metric to the publisher task (local IPC).
+func (g *Gmetric) Publish(v any) {
+	g.port.Deliver(simos.Message{From: g.node.ID, Payload: v})
+}
+
+// Stop ends the publisher.
+func (g *Gmetric) Stop() {
+	g.stopped = true
+	g.task.Exit()
+}
+
+// System is a deployed ganglia group.
+type System struct {
+	Cfg     Config
+	Gmonds  []*Gmond
+	Gmetric *Gmetric
+}
+
+// Deploy installs gmond on every node and gmetric on nodes[0] (the
+// front-end). All of them join the multicast group.
+func Deploy(fab *simnet.Fabric, nodes []*simos.Node, nics []*simnet.NIC, cfg Config) *System {
+	if cfg.Group == "" {
+		cfg = Defaults()
+	}
+	if len(nodes) == 0 || len(nodes) != len(nics) {
+		panic(fmt.Sprintf("ganglia: bad deployment: %d nodes, %d nics", len(nodes), len(nics)))
+	}
+	s := &System{Cfg: cfg}
+	for i, n := range nodes {
+		fab.JoinGroup(cfg.Group, n.ID, GmondPort)
+		s.Gmonds = append(s.Gmonds, startGmond(n, nics[i], cfg))
+	}
+	s.Gmetric = startGmetric(nodes[0], nics[0], cfg)
+	return s
+}
+
+// WireFineGrained connects a monitoring scheme's front-end monitor to
+// gmetric: every load record a prober receives is published to the
+// ganglia group, which is how the paper's gmetric supports
+// fine-grained monitoring (§5.2.2). Existing OnRecord hooks are
+// preserved.
+func (s *System) WireFineGrained(mon *core.Monitor) {
+	for _, p := range mon.Probers {
+		prev := p.OnRecord
+		var lastPub sim.Time = -1 << 62
+		minEvery := s.Cfg.PublishMinInterval
+		p.OnRecord = func(rec wire.LoadRecord, at sim.Time) {
+			if prev != nil {
+				prev(rec, at)
+			}
+			if at-lastPub >= minEvery {
+				lastPub = at
+				s.Gmetric.Publish(rec)
+			}
+		}
+	}
+}
+
+// Stop ends every daemon.
+func (s *System) Stop() {
+	for _, g := range s.Gmonds {
+		g.Stop()
+	}
+	s.Gmetric.Stop()
+}

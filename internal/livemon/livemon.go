@@ -1,0 +1,238 @@
+// Package livemon runs the monitoring schemes for real: agents sample
+// actual machine load (via procfs) and serve it over TCP using the
+// verbs-style emulation in tcpverbs. It is the deployable counterpart
+// of the simulated core package — same record format, same scheme
+// semantics:
+//
+//   - Socket-Async / Socket-Sync: request/response calls that involve
+//     the agent application per probe (Socket-Sync samples per probe,
+//     Socket-Async answers from a periodically refreshed buffer).
+//   - RDMA-Async: one-sided read of a periodically refreshed region.
+//   - RDMA-Sync / e-RDMA-Sync: one-sided read whose region source
+//     samples the machine at read time, served by the transport's
+//     responder (the "NIC") with no agent-application involvement.
+package livemon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/procfs"
+	"rdmamon/internal/tcpverbs"
+	"rdmamon/internal/wire"
+)
+
+// Ports used over the tcpverbs transport.
+const (
+	portInfo  = "rmon-info"
+	portProbe = "rmon"
+)
+
+// Config configures a live agent.
+type Config struct {
+	Scheme   core.Scheme
+	Addr     string // listen address, e.g. ":9377" or "127.0.0.1:0"
+	NodeID   uint16
+	Interval time.Duration // async refresh period (default 50ms)
+	Provider procfs.Provider
+}
+
+// Agent is the live back-end of a monitoring scheme.
+type Agent struct {
+	cfg   Config
+	verbs *tcpverbs.Agent
+	mr    *tcpverbs.MR
+
+	mu  sync.Mutex
+	buf []byte // refreshed encoding (async schemes)
+	seq uint32
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartAgent launches the agent.
+func StartAgent(cfg Config) (*Agent, error) {
+	if cfg.Provider == nil {
+		cfg.Provider = procfs.NewLinux("")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	v, err := tcpverbs.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{cfg: cfg, verbs: v, stop: make(chan struct{})}
+
+	switch cfg.Scheme {
+	case core.SocketAsync:
+		if err := a.refresh(); err != nil {
+			v.Close()
+			return nil, err
+		}
+		a.startRefresher()
+		v.HandleCall(portProbe, func([]byte) []byte { return a.snapshotBuf() })
+	case core.SocketSync:
+		v.HandleCall(portProbe, func([]byte) []byte {
+			b, err := a.sampleEncode()
+			if err != nil {
+				return nil
+			}
+			return b
+		})
+	case core.RDMAAsync:
+		if err := a.refresh(); err != nil {
+			v.Close()
+			return nil, err
+		}
+		a.startRefresher()
+		a.mr = v.RegisterMR(a.snapshotBuf, wire.RecordSize)
+	case core.RDMASync, core.ERDMASync:
+		a.mr = v.RegisterMR(func() []byte {
+			b, err := a.sampleEncode()
+			if err != nil {
+				return make([]byte, wire.RecordSize)
+			}
+			return b
+		}, wire.RecordSize)
+	default:
+		v.Close()
+		return nil, fmt.Errorf("livemon: unknown scheme %v", cfg.Scheme)
+	}
+
+	// Control endpoint: scheme + rkey discovery for probes.
+	v.HandleCall(portInfo, func([]byte) []byte {
+		info := make([]byte, 5)
+		info[0] = byte(cfg.Scheme)
+		if a.mr != nil {
+			binary.BigEndian.PutUint32(info[1:], a.mr.Key())
+		}
+		return info
+	})
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.verbs.Addr() }
+
+// Scheme returns the agent's scheme.
+func (a *Agent) Scheme() core.Scheme { return a.cfg.Scheme }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	err := a.verbs.Close()
+	a.wg.Wait()
+	return err
+}
+
+// sampleEncode takes a fresh snapshot and encodes it.
+func (a *Agent) sampleEncode() ([]byte, error) {
+	s, err := a.cfg.Provider.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.seq++
+	seq := a.seq
+	a.mu.Unlock()
+	return s.Record(a.cfg.NodeID, seq).Encode(), nil
+}
+
+// refresh updates the shared buffer (async schemes).
+func (a *Agent) refresh() error {
+	b, err := a.sampleEncode()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.buf = b
+	a.mu.Unlock()
+	return nil
+}
+
+// snapshotBuf returns a copy of the shared buffer.
+func (a *Agent) snapshotBuf() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte(nil), a.buf...)
+}
+
+func (a *Agent) startRefresher() {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				_ = a.refresh() // transient sampling errors keep the old record
+			}
+		}
+	}()
+}
+
+// Probe is the live front-end half: it fetches load records from one
+// agent using that agent's scheme semantics.
+type Probe struct {
+	conn   *tcpverbs.Conn
+	scheme core.Scheme
+	rkey   uint32
+}
+
+// Dial connects to an agent and discovers its scheme and region key.
+func Dial(addr string) (*Probe, error) {
+	c, err := tcpverbs.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.Call(portInfo, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("livemon: info exchange: %w", err)
+	}
+	if len(info) < 5 {
+		c.Close()
+		return nil, fmt.Errorf("livemon: short info reply")
+	}
+	return &Probe{
+		conn:   c,
+		scheme: core.Scheme(info[0]),
+		rkey:   binary.BigEndian.Uint32(info[1:]),
+	}, nil
+}
+
+// Scheme returns the remote agent's scheme.
+func (p *Probe) Scheme() core.Scheme { return p.scheme }
+
+// Fetch retrieves one load record.
+func (p *Probe) Fetch() (wire.LoadRecord, error) {
+	var raw []byte
+	var err error
+	if p.scheme.UsesRDMA() {
+		raw, err = p.conn.RDMARead(p.rkey, wire.RecordSize)
+	} else {
+		raw, err = p.conn.Call(portProbe, nil)
+	}
+	if err != nil {
+		return wire.LoadRecord{}, err
+	}
+	return wire.Decode(raw)
+}
+
+// Close tears down the probe connection.
+func (p *Probe) Close() error { return p.conn.Close() }

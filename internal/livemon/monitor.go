@@ -1,0 +1,145 @@
+package livemon
+
+import (
+	"sync"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/wire"
+)
+
+// Monitor polls a fleet of live agents on a fixed interval and caches
+// the newest record per agent — the live counterpart of the simulated
+// front-end monitoring process. It is safe for concurrent use.
+type Monitor struct {
+	interval time.Duration
+
+	mu      sync.RWMutex
+	probes  map[string]*Probe
+	last    map[string]wire.LoadRecord
+	lastAt  map[string]time.Time
+	errs    map[string]error
+	weights core.Weights
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewMonitor dials every target and starts polling. Targets that fail
+// to dial are reported in the returned error map; the monitor still
+// runs for the ones that connected (an empty monitor is valid).
+func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	m := &Monitor{
+		interval: interval,
+		probes:   make(map[string]*Probe),
+		last:     make(map[string]wire.LoadRecord),
+		lastAt:   make(map[string]time.Time),
+		errs:     make(map[string]error),
+		weights:  core.DefaultWeights(),
+		stop:     make(chan struct{}),
+	}
+	dialErrs := make(map[string]error)
+	for _, t := range targets {
+		p, err := Dial(t)
+		if err != nil {
+			dialErrs[t] = err
+			continue
+		}
+		m.probes[t] = p
+	}
+	for t, p := range m.probes {
+		m.wg.Add(1)
+		go m.poll(t, p)
+	}
+	return m, dialErrs
+}
+
+func (m *Monitor) poll(target string, p *Probe) {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.interval)
+	defer tick.Stop()
+	fetch := func() {
+		rec, err := p.Fetch()
+		m.mu.Lock()
+		if err != nil {
+			m.errs[target] = err
+		} else {
+			delete(m.errs, target)
+			m.last[target] = rec
+			m.lastAt[target] = time.Now()
+		}
+		m.mu.Unlock()
+	}
+	fetch()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			fetch()
+		}
+	}
+}
+
+// Latest returns the newest record for a target.
+func (m *Monitor) Latest(target string) (wire.LoadRecord, time.Time, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rec, ok := m.last[target]
+	return rec, m.lastAt[target], ok
+}
+
+// Err returns the target's most recent fetch error, if its last fetch
+// failed.
+func (m *Monitor) Err(target string) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.errs[target]
+}
+
+// LeastLoaded returns the connected target with the smallest load
+// index (the live analogue of the dispatcher's choice), or "" if no
+// records have arrived yet.
+func (m *Monitor) LeastLoaded() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	best := ""
+	bestIdx := 0.0
+	for t, rec := range m.last {
+		idx := m.weights.Index(rec)
+		if best == "" || idx < bestIdx {
+			best, bestIdx = t, idx
+		}
+	}
+	return best
+}
+
+// Targets lists the connected targets.
+func (m *Monitor) Targets() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.probes))
+	for t := range m.probes {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Close stops polling and closes all probe connections.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.probes {
+		p.Close()
+	}
+	m.probes = map[string]*Probe{}
+}

@@ -1,0 +1,137 @@
+package livemon
+
+import (
+	"testing"
+	"time"
+
+	"rdmamon/internal/core"
+)
+
+func TestMonitorPollsFleet(t *testing.T) {
+	var agents []*Agent
+	var targets []string
+	for i := 0; i < 3; i++ {
+		a, err := StartAgent(Config{
+			Scheme:   core.RDMASync,
+			NodeID:   uint16(i + 1),
+			Provider: synthetic(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+		targets = append(targets, a.Addr())
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	m, dialErrs := NewMonitor(targets, 10*time.Millisecond)
+	defer m.Close()
+	if len(dialErrs) != 0 {
+		t.Fatalf("dial errors: %v", dialErrs)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for i, tgt := range targets {
+			rec, at, ok := m.Latest(tgt)
+			if !ok {
+				all = false
+				break
+			}
+			if int(rec.NodeID) != i+1 || at.IsZero() {
+				t.Fatalf("target %s record %+v", tgt, rec)
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never collected all records")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(m.Targets()) != 3 {
+		t.Fatalf("targets = %v", m.Targets())
+	}
+}
+
+func TestMonitorLeastLoaded(t *testing.T) {
+	busy := synthetic(20)
+	busy.S.UtilPerMille = []int{1000, 1000}
+	idle := synthetic(0)
+	idle.S.UtilPerMille = []int{10, 10}
+	a1, err := StartAgent(Config{Scheme: core.RDMASync, NodeID: 1, Provider: busy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := StartAgent(Config{Scheme: core.RDMASync, NodeID: 2, Provider: idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	m, _ := NewMonitor([]string{a1.Addr(), a2.Addr()}, 10*time.Millisecond)
+	defer m.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m.LeastLoaded() == a2.Addr() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("LeastLoaded = %q, want idle agent %q", m.LeastLoaded(), a2.Addr())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMonitorSurvivesAgentDeath(t *testing.T) {
+	a, err := StartAgent(Config{Scheme: core.RDMASync, NodeID: 1, Provider: synthetic(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, dialErrs := NewMonitor([]string{a.Addr()}, 5*time.Millisecond)
+	defer m.Close()
+	if len(dialErrs) != 0 {
+		t.Fatal(dialErrs)
+	}
+	target := a.Addr()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, ok := m.Latest(target); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no record before agent death")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.Close()
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if m.Err(target) != nil {
+			break // error surfaced, monitor still alive
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fetch error never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Cached record remains available.
+	if _, _, ok := m.Latest(target); !ok {
+		t.Fatal("cached record lost on error")
+	}
+}
+
+func TestMonitorBadTargets(t *testing.T) {
+	m, dialErrs := NewMonitor([]string{"127.0.0.1:1"}, 10*time.Millisecond)
+	defer m.Close()
+	if len(dialErrs) != 1 {
+		t.Fatalf("dial errors = %v", dialErrs)
+	}
+	if m.LeastLoaded() != "" {
+		t.Fatal("empty monitor should report no least-loaded target")
+	}
+}

@@ -1,0 +1,249 @@
+// Package loadbalance provides the dispatcher policies used in the
+// paper's application-level evaluation: the IBM WebSphere-style
+// weighted least-load policy driven by monitored load records, plus
+// round-robin and random baselines.
+package loadbalance
+
+import (
+	"math"
+	"math/rand"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/wire"
+)
+
+// LoadSource returns the newest load record for a back-end, if any.
+// It is typically (*core.Monitor).Latest with the timestamp dropped.
+type LoadSource func(backend int) (wire.LoadRecord, bool)
+
+// AgedSource additionally reports how old the record is. Policies use
+// the age to discount confidence in stale information: a weight
+// computed from a second-old record is worse than no weight at all
+// (confidently wrong beats uniformly ignorant only when it is right).
+type AgedSource func(backend int) (rec wire.LoadRecord, age sim.Time, ok bool)
+
+// Policy picks a back-end for each request.
+type Policy interface {
+	Name() string
+	Pick() int
+}
+
+// RoundRobin cycles through the back-ends.
+type RoundRobin struct {
+	Backends []int
+	next     int
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick() int {
+	b := r.Backends[r.next%len(r.Backends)]
+	r.next++
+	return b
+}
+
+// Random picks uniformly.
+type Random struct {
+	Backends []int
+	Rng      *rand.Rand
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Pick implements Policy.
+func (r *Random) Pick() int {
+	return r.Backends[r.Rng.Intn(len(r.Backends))]
+}
+
+// WeightedLeastLoad is the WebSphere-style policy (§5.2.1): compute
+// the weighted load index of each back-end from its newest monitored
+// record and send the request to the least-loaded one. Ties are broken
+// randomly; back-ends with no record yet score zero (optimistic, like
+// a freshly started system).
+type WeightedLeastLoad struct {
+	Backends []int
+	Weights  core.Weights
+	Source   LoadSource
+	Rng      *rand.Rand
+
+	// LocalFrac, if set, supplies the dispatcher's own estimate of
+	// each back-end's recent fraction of forwarded requests (1/N is
+	// the fair share). Real dispatchers (WebSphere, LVS) always blend
+	// such a connection-count signal with monitored load; it is what
+	// keeps the policy sane when monitored records are very stale.
+	LocalFrac   func(backend int) float64
+	LocalWeight float64
+
+	// Picks counts per-backend selections, for imbalance diagnostics.
+	Picks map[int]uint64
+}
+
+// Name implements Policy.
+func (w *WeightedLeastLoad) Name() string { return "weighted-least-load" }
+
+// Pick implements Policy.
+func (w *WeightedLeastLoad) Pick() int {
+	best := -1
+	bestIdx := 0.0
+	ties := 0
+	for _, b := range w.Backends {
+		idx := 0.0
+		if rec, ok := w.Source(b); ok {
+			idx = w.Weights.Index(rec)
+		}
+		if w.LocalFrac != nil && w.LocalWeight > 0 {
+			share := w.LocalFrac(b) * float64(len(w.Backends)) / 2 // fair share -> 0.5
+			if share > 1 {
+				share = 1
+			}
+			idx += w.LocalWeight * share
+		}
+		switch {
+		case best < 0 || idx < bestIdx:
+			best = b
+			bestIdx = idx
+			ties = 1
+		case idx == bestIdx:
+			// Reservoir-sample among exact ties so equal-looking
+			// back-ends share load instead of herding onto one.
+			ties++
+			if w.Rng != nil && w.Rng.Intn(ties) == 0 {
+				best = b
+			}
+		}
+	}
+	if w.Picks != nil {
+		w.Picks[best]++
+	}
+	return best
+}
+
+// WeightedProportional is the IBM WebSphere / Network Dispatcher
+// style policy the paper cites: each back-end gets a weight derived
+// from its monitored load index and requests are distributed in
+// proportion to the weights. Unlike strict least-load it never herds a
+// whole polling window of traffic onto one server — but a server whose
+// reported load is stale keeps receiving its full share long after it
+// has become hot, which is exactly how inaccurate monitoring turns
+// into queueing (paper §5.2).
+type WeightedProportional struct {
+	Backends []int
+	Weights  core.Weights
+	Source   LoadSource
+	Rng      *rand.Rand
+
+	// Gamma sharpens the load->weight mapping: weight = (1-index)^Gamma.
+	// Zero takes the default of 2.
+	Gamma float64
+
+	// Aged, if set, is consulted instead of Source and enables the
+	// staleness discount: a record older than StaleAfter contributes
+	// exponentially less, decaying the weight toward uniform. Zero
+	// StaleAfter disables the discount.
+	Aged       AgedSource
+	StaleAfter sim.Time
+
+	// LocalFrac / LocalWeight: as in WeightedLeastLoad.
+	LocalFrac   func(backend int) float64
+	LocalWeight float64
+
+	// Picks counts per-backend selections.
+	Picks map[int]uint64
+
+	weights []float64 // scratch
+}
+
+// Name implements Policy.
+func (w *WeightedProportional) Name() string { return "weighted-proportional" }
+
+// Pick implements Policy.
+func (w *WeightedProportional) Pick() int {
+	gamma := w.Gamma
+	if gamma <= 0 {
+		gamma = 2
+	}
+	if cap(w.weights) < len(w.Backends) {
+		w.weights = make([]float64, len(w.Backends))
+	}
+	w.weights = w.weights[:len(w.Backends)]
+	total := 0.0
+	for i, b := range w.Backends {
+		idx := 0.0
+		conf := 1.0
+		switch {
+		case w.Aged != nil:
+			if rec, age, ok := w.Aged(b); ok {
+				idx = w.Weights.Index(rec)
+				if w.StaleAfter > 0 {
+					conf = math.Exp(-float64(age) / float64(w.StaleAfter))
+				}
+			} else {
+				conf = 0
+			}
+		case w.Source != nil:
+			if rec, ok := w.Source(b); ok {
+				idx = w.Weights.Index(rec)
+			}
+		}
+		if w.LocalFrac != nil && w.LocalWeight > 0 {
+			share := w.LocalFrac(b) * float64(len(w.Backends)) / 2
+			if share > 1 {
+				share = 1
+			}
+			idx += w.LocalWeight * share
+		}
+		// Stale information decays toward the prior (the fleet-average
+		// load of 0.5).
+		idx = conf*idx + (1-conf)*0.5
+		free := 1 - idx
+		if free < 0.02 {
+			free = 0.02 // even a saturated-looking server keeps a trickle
+		}
+		wt := free
+		for g := 1.0; g < gamma; g++ {
+			wt *= free
+		}
+		w.weights[i] = wt
+		total += wt
+	}
+	pick := w.Backends[0]
+	if total > 0 && w.Rng != nil {
+		x := w.Rng.Float64() * total
+		for i, b := range w.Backends {
+			x -= w.weights[i]
+			if x <= 0 {
+				pick = b
+				break
+			}
+		}
+	}
+	if w.Picks != nil {
+		w.Picks[pick]++
+	}
+	return pick
+}
+
+// Imbalance returns max/mean of the per-backend pick counts (1.0 is
+// perfectly balanced). Requires Picks to be non-nil.
+func (w *WeightedLeastLoad) Imbalance() float64 {
+	if len(w.Picks) == 0 {
+		return 1
+	}
+	var sum, max uint64
+	for _, b := range w.Backends {
+		c := w.Picks[b]
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(w.Backends))
+	return float64(max) / mean
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("basic stats wrong: %+v", s.Summarize())
+	}
+	if !almost(s.Stddev(), math.Sqrt(2), 1e-12) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.Stddev())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileAfterAddResorts(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must invalidate sort
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("min percentile = %v after late add, want 1", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if s.Summarize().String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count/max = %d/%d", h.Count(), h.Max())
+	}
+	if !almost(h.Mean(), 500.5, 1e-9) {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	q := h.Quantile(0.5)
+	// Median 500 lives in bucket [256,512): upper bound 512.
+	if q != 512 {
+		t.Fatalf("median bucket bound = %d, want 512", q)
+	}
+	if h.Quantile(1.0) < 1000 {
+		t.Fatalf("q100 = %d, want >= max", h.Quantile(1.0))
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty hist should report zeros")
+	}
+}
+
+func TestHistZeroValue(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	h.Observe(1)
+	if h.Count() != 2 {
+		t.Fatal("zero observation lost")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*2))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MeanV() != 9 {
+		t.Fatalf("MeanV = %v, want 9", s.MeanV())
+	}
+	if s.MaxV() != 18 {
+		t.Fatalf("MaxV = %v, want 18", s.MaxV())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), 5)
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d points, want 10", d.Len())
+	}
+	for _, p := range d.Points {
+		if p.V != 5 {
+			t.Fatalf("averaging constant series changed value: %v", p.V)
+		}
+	}
+	// Already small series passes through.
+	small := Series{Points: []Point{{1, 1}, {2, 2}}}
+	if d2 := small.Downsample(10); d2.Len() != 2 {
+		t.Fatal("small series should pass through")
+	}
+	var empty Series
+	if d3 := empty.Downsample(5); d3.Len() != 0 {
+		t.Fatal("empty downsample should be empty")
+	}
+	if empty.MeanV() != 0 || empty.MaxV() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+}
+
+func TestWelfordMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var w Welford
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		w.Add(v)
+		s.Add(v)
+	}
+	if !almost(w.Mean(), s.Mean(), 1e-9) {
+		t.Fatalf("welford mean %v vs sample %v", w.Mean(), s.Mean())
+	}
+	if !almost(w.Stddev(), s.Stddev(), 1e-9) {
+		t.Fatalf("welford stddev %v vs sample %v", w.Stddev(), s.Stddev())
+	}
+	if w.Count() != 1000 {
+		t.Fatal("welford count wrong")
+	}
+	var empty Welford
+	if empty.Variance() != 0 {
+		t.Fatal("empty welford variance should be 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Add(10) != 10 {
+		t.Fatal("first value should initialize")
+	}
+	if got := e.Add(20); got != 15 {
+		t.Fatalf("ewma = %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Fatal("Value() mismatch")
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	var d Deviation
+	d.Observe(10, 12)
+	d.Observe(5, 5)
+	d.Observe(0, 7)
+	if d.Count() != 3 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if !almost(d.MeanAbs(), 3, 1e-12) {
+		t.Fatalf("mean abs = %v, want 3", d.MeanAbs())
+	}
+	if d.MaxAbs() != 7 {
+		t.Fatalf("max abs = %v, want 7", d.MaxAbs())
+	}
+	if d.P95Abs() != 7 {
+		t.Fatalf("p95 abs = %v, want 7", d.P95Abs())
+	}
+}
+
+// Property: Percentile(100) is the true max and Percentile(0) the true
+// min for any data.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		cp := append([]float64(nil), vals...)
+		for _, v := range cp {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		sort.Float64s(cp)
+		return s.Percentile(0) == cp[0] && s.Percentile(100) == cp[len(cp)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram quantile upper bound is >= the exact quantile.
+func TestQuickHistQuantileUpperBound(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := float64(qRaw%101) / 100
+		var h Hist
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = uint64(v)
+			h.Observe(uint64(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		return h.Quantile(q) >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleAddAllAndValues(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.AddAll(&b)
+	a.AddAll(nil)
+	if a.Count() != 3 || a.Max() != 3 {
+		t.Fatalf("after AddAll: %+v", a.Summarize())
+	}
+	if len(a.Values()) != 3 {
+		t.Fatal("Values length mismatch")
+	}
+	// AddAll must invalidate the sort cache.
+	_ = a.Percentile(50)
+	var c Sample
+	c.Add(0.5)
+	a.AddAll(&c)
+	if a.Percentile(0) != 0.5 {
+		t.Fatal("sort cache not invalidated by AddAll")
+	}
+}

@@ -1,0 +1,239 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, so a run with a fixed seed is bit-for-bit reproducible.
+// All other simulation packages (simos, simnet, ...) are built on top
+// of this engine and inherit its determinism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation. It is deliberately distinct from time.Time and
+// time.Duration: simulated time never touches the wall clock.
+type Time int64
+
+// Convenient duration units expressed as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. The zero value is not useful; events
+// are created through Engine.Schedule and Engine.After.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 when not queued
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; run one engine per goroutine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+
+	// Processed counts events executed, for diagnostics and tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and a random
+// number stream derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Len returns the number of queued events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current time. Negative d is
+// clamped to zero.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was
+// still pending. Cancelling a fired or already-cancelled event is a
+// harmless no-op.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.Processed++
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to exactly t. Events scheduled at t fire; later events remain
+// queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span d of virtual time from Now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Ticker invokes fn every period until Stop is called. The first tick
+// fires one period from now.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker creates and starts a ticker. period must be positive.
+func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,481 @@
+// Package simnet models an RDMA-capable cluster interconnect (an
+// InfiniBand-style fabric) connecting simos nodes.
+//
+// Two communication semantics are provided, mirroring §2 of the paper:
+//
+//   - Channel semantics (Send / ports): every message costs kernel CPU
+//     on the sender, crosses the wire, raises an interrupt on the
+//     receiver and requires the receiving process to be scheduled
+//     before it is consumed. This is the sockets (IPoIB) path.
+//
+//   - Memory semantics (RDMARead / RDMAWrite against registered memory
+//     regions): the initiating NIC talks directly to the target NIC,
+//     which DMAs the registered region *without any target-CPU
+//     involvement* — no interrupt, no process wakeup, no scheduling.
+//     This is the property the paper's monitoring schemes exploit.
+//
+// Memory regions carry protection keys and a read-only flag; a remote
+// write to a read-only region fails with ErrPermission, implementing
+// the paper's §6 answer to the security concern of exposing kernel
+// memory.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simos"
+)
+
+// Errors surfaced as RDMA completion statuses.
+var (
+	ErrNoRoute    = errors.New("simnet: no such node")
+	ErrBadKey     = errors.New("simnet: invalid remote key")
+	ErrPermission = errors.New("simnet: remote access permission denied")
+	ErrLength     = errors.New("simnet: access beyond region bounds")
+)
+
+// ExternalID is the node-ID space used for endpoints outside the
+// simulated cluster (e.g. client machines driving the workload). IDs
+// at or below ExternalBase are external.
+const ExternalBase = -1
+
+// Config holds the fabric timing constants, calibrated to a 4x
+// InfiniBand network with an IPoIB sockets stack (paper testbed).
+type Config struct {
+	WireLatency  sim.Time // one-way propagation + switch
+	BandwidthBps int64    // payload serialization rate
+
+	SockTxCost sim.Time // sender kernel CPU per sockets message
+	TxCPUBps   int64    // additional sender kernel CPU: bytes/sec of copy+checksum work
+	AckEvery   int      // one ACK interrupt returns to the sender per this many bytes
+
+	NICService   sim.Time // target NIC processing per RDMA op
+	RDMAPostCost sim.Time // initiator CPU to post a work request
+
+	// TCP-over-IPoIB loss behaviour: a message arriving at a
+	// CPU-distressed node may be dropped at the socket layer (buffers
+	// overrun because the consumer is starved) and is retransmitted
+	// after RTO, Linux's 200 ms minimum. One-sided RDMA traffic never
+	// takes this path — the HCA completes it reliably in hardware —
+	// which is a large part of why socket-based monitoring of a hot
+	// server observes multi-hundred-ms stalls (paper Table 1 maxima).
+	SockDropMax    float64  // cap on per-message drop probability (0 disables)
+	SockDropPer    float64  // drop probability added per backlogged connection over the threshold
+	SockDropThresh int      // connection backlog where dropping begins
+	RTO            sim.Time // retransmission timeout
+	MaxRetries     int
+}
+
+// Defaults returns fabric constants calibrated to the paper's testbed.
+func Defaults() Config {
+	return Config{
+		WireLatency:    5 * sim.Microsecond,
+		BandwidthBps:   8e9,
+		SockTxCost:     15 * sim.Microsecond,
+		TxCPUBps:       500 << 20,
+		AckEvery:       4 << 10,
+		NICService:     2 * sim.Microsecond,
+		RDMAPostCost:   1 * sim.Microsecond,
+		SockDropMax:    0.35,
+		SockDropPer:    0.04,
+		SockDropThresh: 12,
+		RTO:            200 * sim.Millisecond,
+		MaxRetries:     8,
+	}
+}
+
+func (c *Config) sanitize() {
+	d := Defaults()
+	if c.WireLatency <= 0 {
+		c.WireLatency = d.WireLatency
+	}
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = d.BandwidthBps
+	}
+	if c.NICService <= 0 {
+		c.NICService = d.NICService
+	}
+	if c.TxCPUBps <= 0 {
+		c.TxCPUBps = d.TxCPUBps
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = d.AckEvery
+	}
+	// Zero means default for the loss model; explicitly negative
+	// SockDropMax disables it.
+	if c.SockDropMax == 0 {
+		c.SockDropMax = d.SockDropMax
+		if c.SockDropPer == 0 {
+			c.SockDropPer = d.SockDropPer
+		}
+		if c.SockDropThresh == 0 {
+			c.SockDropThresh = d.SockDropThresh
+		}
+	}
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+}
+
+// Fabric is the cluster interconnect.
+type Fabric struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	nics        map[int]*NIC
+	externals   map[int]func(simos.Message)
+	groups      map[string][]groupMember
+	established map[string]bool
+
+	// AblationRDMATargetIRQ, when set, charges a network interrupt on
+	// the target node for every RDMA operation — deliberately breaking
+	// the one-sided property to quantify its contribution (DESIGN.md
+	// ablation 2).
+	AblationRDMATargetIRQ bool
+}
+
+type groupMember struct {
+	node int
+	port string
+}
+
+// NewFabric creates a fabric on eng.
+func NewFabric(eng *sim.Engine, cfg Config) *Fabric {
+	cfg.sanitize()
+	return &Fabric{
+		Eng:         eng,
+		Cfg:         cfg,
+		nics:        make(map[int]*NIC),
+		externals:   make(map[int]func(simos.Message)),
+		groups:      make(map[string][]groupMember),
+		established: make(map[string]bool),
+	}
+}
+
+// MarkEstablished exempts a port from socket-layer drops: traffic to
+// it flows over long-lived established connections (persistent HTTP
+// sessions), which ride out receiver distress inside the TCP window
+// rather than being dropped at the listen backlog. Per-poll monitoring
+// exchanges are NOT established in this sense — each poll behaves like
+// fresh connection traffic and takes the drop+RTO path when the
+// receiver is distressed.
+func (f *Fabric) MarkEstablished(port string) { f.established[port] = true }
+
+// xmit returns the wire time for a payload of size bytes.
+func (f *Fabric) xmit(size int) sim.Time {
+	return f.Cfg.WireLatency + sim.Time(int64(size)*8*int64(sim.Second)/f.Cfg.BandwidthBps)
+}
+
+// Attach gives node a NIC on this fabric.
+func (f *Fabric) Attach(node *simos.Node) *NIC {
+	if _, dup := f.nics[node.ID]; dup {
+		panic(fmt.Sprintf("simnet: node %d already attached", node.ID))
+	}
+	nic := &NIC{fab: f, node: node, mrs: make(map[uint32]*MR)}
+	f.nics[node.ID] = nic
+	return nic
+}
+
+// NIC returns the adapter of the given node, or nil.
+func (f *Fabric) NIC(node int) *NIC { return f.nics[node] }
+
+// RegisterExternal installs a sink for messages addressed to an
+// external endpoint (a client machine outside the modeled cluster).
+// Messages to it incur wire latency but no simulated host costs.
+func (f *Fabric) RegisterExternal(id int, sink func(simos.Message)) {
+	if id > ExternalBase {
+		panic("simnet: external IDs must be <= ExternalBase")
+	}
+	f.externals[id] = sink
+}
+
+// Inject delivers a message from external endpoint from to a cluster
+// node's port, modeling request arrival from a client machine: it
+// crosses the wire and raises a receive interrupt like any sockets
+// traffic.
+func (f *Fabric) Inject(from, dst int, port string, size int, payload any) {
+	f.deliver(from, dst, port, size, payload)
+}
+
+// deliver moves a message to dst (cluster node or external sink).
+func (f *Fabric) deliver(from, dst int, port string, size int, payload any) {
+	m := simos.Message{From: from, Size: size, Payload: payload, SentAt: f.Eng.Now()}
+	f.attempt(m, dst, port, 0)
+}
+
+func (f *Fabric) attempt(m simos.Message, dst int, port string, try int) {
+	f.Eng.After(f.xmit(m.Size), func() {
+		if sink, ok := f.externals[dst]; ok {
+			sink(m)
+			return
+		}
+		nic := f.nics[dst]
+		if nic == nil {
+			return // dropped: no such host
+		}
+		node := nic.node
+		node.RaiseNetIRQ(func() {
+			node.K.AddNetRx(m.Size)
+			if !f.established[port] && try < f.Cfg.MaxRetries && f.dropAtSocket(node) {
+				// Socket buffer overrun: the packet cost RX processing
+				// but never reaches the application; the sender's TCP
+				// retransmits after RTO.
+				nic.SockDrops++
+				f.Eng.After(f.Cfg.RTO, func() { f.attempt(m, dst, port, try+1) })
+				return
+			}
+			if p := node.LookupPort(port); p != nil {
+				p.Deliver(m)
+			}
+		})
+	})
+}
+
+// dropAtSocket decides whether a channel-semantics message is lost at
+// a distressed receiver: the drop probability rises with the node's
+// connection backlog (queued + in-service work) beyond the threshold —
+// the socket-buffer overrun regime of an overloaded server.
+func (f *Fabric) dropAtSocket(node *simos.Node) bool {
+	if f.Cfg.SockDropMax <= 0 {
+		return false
+	}
+	over := node.K.Conns() - f.Cfg.SockDropThresh
+	if over <= 0 {
+		return false
+	}
+	p := f.Cfg.SockDropPer * float64(over)
+	if p > f.Cfg.SockDropMax {
+		p = f.Cfg.SockDropMax
+	}
+	return f.Eng.Rand().Float64() < p
+}
+
+// JoinGroup subscribes a node's port to a hardware multicast group
+// (§6 of the paper: IBA multicast uses channel semantics).
+func (f *Fabric) JoinGroup(group string, node int, port string) {
+	f.groups[group] = append(f.groups[group], groupMember{node: node, port: port})
+}
+
+// NIC is one node's adapter: the attachment point for both channel and
+// memory semantics.
+type NIC struct {
+	fab     *Fabric
+	node    *simos.Node
+	mrs     map[uint32]*MR
+	nextKey uint32
+
+	// Counters (NIC firmware statistics).
+	RDMAReads   uint64
+	RDMAWrites  uint64
+	RDMAErrors  uint64
+	SendsPosted uint64
+	SockDrops   uint64
+}
+
+// Node returns the node this NIC belongs to.
+func (n *NIC) Node() *simos.Node { return n.node }
+
+// Fabric returns the fabric the NIC is attached to.
+func (n *NIC) Fabric() *Fabric { return n.fab }
+
+// Send transmits a message using channel semantics from within task t:
+// the kernel send path costs CPU in t's context, then the message
+// crosses the fabric and interrupts the destination. then (optional)
+// runs in t's context once the local send completes (not an ack).
+func (n *NIC) Send(t *simos.Task, dst int, port string, size int, payload any, then func()) {
+	f := n.fab
+	cost := f.Cfg.SockTxCost + sim.Time(int64(size)*int64(sim.Second)/f.Cfg.TxCPUBps)
+	t.Compute(cost, func() {
+		n.SendsPosted++
+		n.node.K.AddNetTx(size)
+		f.deliver(n.node.ID, dst, port, size, payload)
+		// TCP ACK clocking: one return interrupt per AckEvery bytes,
+		// spread over the transmission. Large responses therefore
+		// load the *sender's* interrupt path — kernel state that only
+		// the kernel-direct schemes can observe promptly.
+		acks := size / f.Cfg.AckEvery
+		span := f.xmit(size)
+		node := n.node
+		for i := 1; i <= acks; i++ {
+			f.Eng.After(span*sim.Time(i)/sim.Time(acks)+2*f.Cfg.WireLatency, func() {
+				node.RaiseNetIRQ(nil)
+			})
+		}
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// Multicast sends a message to every member of a group using channel
+// semantics (separate deliveries, one TX cost — switch replication).
+func (n *NIC) Multicast(t *simos.Task, group string, size int, payload any, then func()) {
+	f := n.fab
+	t.Compute(f.Cfg.SockTxCost, func() {
+		n.SendsPosted++
+		n.node.K.AddNetTx(size)
+		for _, m := range f.groups[group] {
+			if m.node == n.node.ID {
+				continue
+			}
+			f.deliver(n.node.ID, m.node, m.port, size, payload)
+		}
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// Source supplies the bytes of a memory region at DMA time. For a
+// user-space buffer this is a closure over the buffer; for RDMA-Sync
+// it is a closure that serializes the live kernel statistics, so the
+// value read is exact at the instant of the DMA.
+type Source func() []byte
+
+// StaticSource adapts a plain buffer.
+func StaticSource(buf []byte) Source { return func() []byte { return buf } }
+
+// MR is a registered (pinned) memory region addressable by remote
+// RDMA operations.
+type MR struct {
+	nic      *NIC
+	key      uint32
+	size     int
+	source   Source
+	writable bool
+	sink     func([]byte) // consumes remote writes when writable
+}
+
+// Key returns the remote protection key of the region.
+func (m *MR) Key() uint32 { return m.key }
+
+// Size returns the registered length in bytes.
+func (m *MR) Size() int { return m.size }
+
+// RegisterMR pins a read-only region of the given size served by src.
+func (n *NIC) RegisterMR(src Source, size int) *MR {
+	n.nextKey++
+	mr := &MR{nic: n, key: n.nextKey, size: size, source: src}
+	n.mrs[mr.key] = mr
+	return mr
+}
+
+// RegisterWritableMR pins a region that also accepts remote writes,
+// delivered to sink. Reads are served by src as usual.
+func (n *NIC) RegisterWritableMR(src Source, size int, sink func([]byte)) *MR {
+	mr := n.RegisterMR(src, size)
+	mr.writable = true
+	mr.sink = sink
+	return mr
+}
+
+// Deregister unpins a region; later remote accesses fail with
+// ErrBadKey.
+func (n *NIC) Deregister(mr *MR) { delete(n.mrs, mr.key) }
+
+// RDMARead posts a one-sided read of [0, length) of the remote region
+// (target node, key) from task t. The task blocks until the completion
+// arrives; then runs with the data read at the remote DMA instant.
+// The target host CPU is never involved.
+func (n *NIC) RDMARead(t *simos.Task, target int, key uint32, length int, then func(data []byte, err error)) {
+	f := n.fab
+	t.Compute(f.Cfg.RDMAPostCost, func() {
+		t.Await(func(v any) {
+			c := v.(rdmaCompletion)
+			then(c.data, c.err)
+		})
+		n.RDMAReads++
+		f.Eng.After(f.xmit(16), func() { // request descriptor to target NIC
+			tn := f.nics[target]
+			if tn == nil {
+				n.complete(t, rdmaCompletion{err: ErrNoRoute})
+				return
+			}
+			f.Eng.After(f.Cfg.NICService, func() {
+				mr := tn.mrs[key]
+				if mr == nil {
+					tn.fab.countErr(n)
+					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrBadKey})
+					return
+				}
+				if length > mr.size {
+					tn.fab.countErr(n)
+					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrLength})
+					return
+				}
+				// The DMA instant: capture the region bytes now.
+				src := mr.source()
+				if length < len(src) {
+					src = src[:length]
+				}
+				data := make([]byte, len(src))
+				copy(data, src)
+				if f.AblationRDMATargetIRQ {
+					tn.node.RaiseNetIRQ(nil)
+				}
+				n.completeAfter(t, f.xmit(len(data)), rdmaCompletion{data: data})
+			})
+		})
+	})
+}
+
+// RDMAWrite posts a one-sided write of data into the remote region.
+// Writes to regions registered read-only fail with ErrPermission (the
+// paper's protection for exposed kernel structures).
+func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then func(err error)) {
+	f := n.fab
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	t.Compute(f.Cfg.RDMAPostCost, func() {
+		t.Await(func(v any) {
+			then(v.(rdmaCompletion).err)
+		})
+		n.RDMAWrites++
+		f.Eng.After(f.xmit(16+len(payload)), func() {
+			tn := f.nics[target]
+			if tn == nil {
+				n.complete(t, rdmaCompletion{err: ErrNoRoute})
+				return
+			}
+			f.Eng.After(f.Cfg.NICService, func() {
+				mr := tn.mrs[key]
+				var err error
+				switch {
+				case mr == nil:
+					err = ErrBadKey
+				case !mr.writable:
+					err = ErrPermission
+				case len(payload) > mr.size:
+					err = ErrLength
+				default:
+					if f.AblationRDMATargetIRQ {
+						tn.node.RaiseNetIRQ(nil)
+					}
+					mr.sink(payload)
+				}
+				if err != nil {
+					tn.fab.countErr(n)
+				}
+				n.completeAfter(t, f.xmit(0), rdmaCompletion{err: err})
+			})
+		})
+	})
+}
+
+type rdmaCompletion struct {
+	data []byte
+	err  error
+}
+
+func (f *Fabric) countErr(n *NIC) { n.RDMAErrors++ }
+
+func (n *NIC) complete(t *simos.Task, c rdmaCompletion) { t.Resume(c) }
+
+func (n *NIC) completeAfter(t *simos.Task, d sim.Time, c rdmaCompletion) {
+	n.fab.Eng.After(d, func() { t.Resume(c) })
+}

@@ -1,0 +1,436 @@
+// Package tcpverbs emulates the small slice of the RDMA verbs API the
+// monitoring library needs — memory registration and one-sided reads —
+// over plain TCP, so the library runs on clusters without InfiniBand
+// hardware.
+//
+// The emulation preserves the property that matters: a remote read is
+// served entirely by a dedicated responder goroutine (standing in for
+// the NIC's DMA engine) without involving the application's own
+// goroutines. What it cannot preserve is the kernel-bypass cost model:
+// reads still traverse the host TCP stack, so this transport is a
+// functional substitute, not a performance-faithful one (see
+// DESIGN.md's substitution table).
+//
+// Wire protocol (all integers big-endian):
+//
+//	frame  := u32 length, u8 opcode, body
+//	opRead : u32 rkey, u32 maxLen          -> status, data
+//	opWrite: u32 rkey, data                -> status
+//	opCall : u8 portLen, port, payload     -> status, reply
+//	reply  := u32 length, u8 status, body
+package tcpverbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Opcodes.
+const (
+	opRead  = 1
+	opWrite = 2
+	opCall  = 3
+)
+
+// Status codes mirrored from the simulated fabric's completion errors.
+const (
+	statusOK = iota
+	statusBadKey
+	statusPermission
+	statusLength
+	statusNoHandler
+)
+
+// Errors returned by initiator operations.
+var (
+	ErrBadKey     = errors.New("tcpverbs: invalid remote key")
+	ErrPermission = errors.New("tcpverbs: remote access permission denied")
+	ErrLength     = errors.New("tcpverbs: access beyond region bounds")
+	ErrNoHandler  = errors.New("tcpverbs: no handler for port")
+	ErrClosed     = errors.New("tcpverbs: connection closed")
+)
+
+const maxFrame = 16 << 20
+
+func statusErr(s byte) error {
+	switch s {
+	case statusOK:
+		return nil
+	case statusBadKey:
+		return ErrBadKey
+	case statusPermission:
+		return ErrPermission
+	case statusLength:
+		return ErrLength
+	case statusNoHandler:
+		return ErrNoHandler
+	}
+	return fmt.Errorf("tcpverbs: unknown status %d", s)
+}
+
+// Source supplies a region's bytes at read time, exactly like
+// simnet.Source: for live kernel statistics it is a closure that
+// samples /proc when the "DMA" happens.
+type Source func() []byte
+
+// MR is a registered memory region on an Agent.
+type MR struct {
+	key      uint32
+	size     int
+	source   Source
+	writable bool
+	sink     func([]byte)
+}
+
+// Key returns the region's remote key.
+func (m *MR) Key() uint32 { return m.key }
+
+// Agent is the passive side: it owns registered regions and serves
+// remote reads/writes/calls. One Agent per process plays the role of
+// the RDMA NIC.
+type Agent struct {
+	ln net.Listener
+
+	mu       sync.RWMutex
+	mrs      map[uint32]*MR
+	nextKey  uint32
+	handlers map[string]func([]byte) []byte
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	// ServedReads counts reads served (for tests/metrics).
+	served struct {
+		sync.Mutex
+		reads, writes, calls uint64
+	}
+
+	wg sync.WaitGroup
+}
+
+// Listen starts an agent on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Agent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		ln:       ln,
+		mrs:      make(map[uint32]*MR),
+		handlers: make(map[string]func([]byte) []byte),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Stats returns served operation counts.
+func (a *Agent) Stats() (reads, writes, calls uint64) {
+	a.served.Lock()
+	defer a.served.Unlock()
+	return a.served.reads, a.served.writes, a.served.calls
+}
+
+// RegisterMR pins a read-only region of size bytes served by src.
+func (a *Agent) RegisterMR(src Source, size int) *MR {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextKey++
+	mr := &MR{key: a.nextKey, size: size, source: src}
+	a.mrs[mr.key] = mr
+	return mr
+}
+
+// RegisterWritableMR pins a region that also accepts remote writes.
+func (a *Agent) RegisterWritableMR(src Source, size int, sink func([]byte)) *MR {
+	mr := a.RegisterMR(src, size)
+	a.mu.Lock()
+	mr.writable = true
+	mr.sink = sink
+	a.mu.Unlock()
+	return mr
+}
+
+// Deregister unpins a region.
+func (a *Agent) Deregister(mr *MR) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.mrs, mr.key)
+}
+
+// HandleCall installs a request/response handler for channel-semantics
+// exchanges (the socket-based monitoring schemes).
+func (a *Agent) HandleCall(port string, h func(payload []byte) []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.handlers[port] = h
+}
+
+// Close stops the agent, closes open connections and waits for its
+// goroutines.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	for c := range a.conns {
+		c.Close()
+	}
+	a.mu.Unlock()
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		c, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			c.Close()
+			return
+		}
+		a.conns[c] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer func() {
+				c.Close()
+				a.mu.Lock()
+				delete(a.conns, c)
+				a.mu.Unlock()
+			}()
+			a.serve(c)
+		}()
+	}
+}
+
+func (a *Agent) serve(c net.Conn) {
+	for {
+		body, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if len(body) < 1 {
+			return
+		}
+		op, body := body[0], body[1:]
+		var status byte
+		var resp []byte
+		switch op {
+		case opRead:
+			status, resp = a.doRead(body)
+			a.served.Lock()
+			a.served.reads++
+			a.served.Unlock()
+		case opWrite:
+			status = a.doWrite(body)
+			a.served.Lock()
+			a.served.writes++
+			a.served.Unlock()
+		case opCall:
+			status, resp = a.doCall(body)
+			a.served.Lock()
+			a.served.calls++
+			a.served.Unlock()
+		default:
+			return
+		}
+		if err := writeReply(c, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) doRead(body []byte) (byte, []byte) {
+	if len(body) < 8 {
+		return statusLength, nil
+	}
+	key := binary.BigEndian.Uint32(body[0:])
+	maxLen := int(binary.BigEndian.Uint32(body[4:]))
+	a.mu.RLock()
+	mr := a.mrs[key]
+	a.mu.RUnlock()
+	if mr == nil {
+		return statusBadKey, nil
+	}
+	if maxLen > mr.size {
+		return statusLength, nil
+	}
+	data := mr.source()
+	if maxLen < len(data) {
+		data = data[:maxLen]
+	}
+	return statusOK, data
+}
+
+func (a *Agent) doWrite(body []byte) byte {
+	if len(body) < 4 {
+		return statusLength
+	}
+	key := binary.BigEndian.Uint32(body[0:])
+	data := body[4:]
+	a.mu.RLock()
+	mr := a.mrs[key]
+	a.mu.RUnlock()
+	switch {
+	case mr == nil:
+		return statusBadKey
+	case !mr.writable:
+		return statusPermission
+	case len(data) > mr.size:
+		return statusLength
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	mr.sink(cp)
+	return statusOK
+}
+
+func (a *Agent) doCall(body []byte) (byte, []byte) {
+	if len(body) < 1 {
+		return statusLength, nil
+	}
+	pl := int(body[0])
+	if len(body) < 1+pl {
+		return statusLength, nil
+	}
+	port := string(body[1 : 1+pl])
+	payload := body[1+pl:]
+	a.mu.RLock()
+	h := a.handlers[port]
+	a.mu.RUnlock()
+	if h == nil {
+		return statusNoHandler, nil
+	}
+	return statusOK, h(payload)
+}
+
+// Conn is an initiator endpoint ("queue pair") to one remote agent.
+// It is safe for concurrent use; operations are serialized.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Dial connects to a remote agent.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Close()
+}
+
+func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.c, frame); err != nil {
+		return 0, nil, err
+	}
+	body, err := readFrame(c.c)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) < 1 {
+		return 0, nil, ErrClosed
+	}
+	return body[0], body[1:], nil
+}
+
+// RDMARead fetches up to length bytes of the remote region. The remote
+// application is not involved: the agent's responder goroutine serves
+// the read directly.
+func (c *Conn) RDMARead(rkey uint32, length int) ([]byte, error) {
+	frame := make([]byte, 9)
+	frame[0] = opRead
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	binary.BigEndian.PutUint32(frame[5:], uint32(length))
+	status, data, err := c.roundTrip(frame)
+	if err != nil {
+		return nil, err
+	}
+	return data, statusErr(status)
+}
+
+// RDMAWrite stores data into the remote region (if writable).
+func (c *Conn) RDMAWrite(rkey uint32, data []byte) error {
+	frame := make([]byte, 5+len(data))
+	frame[0] = opWrite
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	copy(frame[5:], data)
+	status, _, err := c.roundTrip(frame)
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Call performs a request/response exchange with a named handler on
+// the agent — the channel-semantics path used by the socket schemes.
+func (c *Conn) Call(port string, payload []byte) ([]byte, error) {
+	if len(port) > 255 {
+		return nil, fmt.Errorf("tcpverbs: port name too long")
+	}
+	frame := make([]byte, 2+len(port)+len(payload))
+	frame[0] = opCall
+	frame[1] = byte(len(port))
+	copy(frame[2:], port)
+	copy(frame[2+len(port):], payload)
+	status, data, err := c.roundTrip(frame)
+	if err != nil {
+		return nil, err
+	}
+	return data, statusErr(status)
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func writeReply(w io.Writer, status byte, body []byte) error {
+	frame := make([]byte, 1+len(body))
+	frame[0] = status
+	copy(frame[1:], body)
+	return writeFrame(w, frame)
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcpverbs: frame too large (%d)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

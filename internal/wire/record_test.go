@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecord() LoadRecord {
+	r := LoadRecord{
+		NumCPU:     2,
+		NodeID:     3,
+		Seq:        42,
+		KTimeNS:    123456789,
+		NrRunning:  7,
+		NrTasks:    31,
+		CumIRQ:     9999,
+		MemUsedKB:  200000,
+		MemTotalKB: 1048576,
+		NetRxBytes: 1 << 30,
+		NetTxBytes: 1 << 29,
+		CtxSwitch:  555,
+		Conns:      12,
+	}
+	r.UtilPerMille[0] = 850
+	r.UtilPerMille[1] = 300
+	r.IrqPendingHard[1] = 4
+	r.IrqPendingSoft[1] = 3
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	b := r.Encode()
+	if len(b) != RecordSize {
+		t.Fatalf("encoded size = %d, want %d", len(b), RecordSize)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, RecordSize-1)); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	b := sampleRecord().Encode()
+	b[0] ^= 0xFF
+	if _, err := Decode(b); err != ErrMagic {
+		t.Fatalf("err = %v, want ErrMagic", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	b := sampleRecord().Encode()
+	b[4] = 99
+	if _, err := Decode(b); err != ErrVersion {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeTornRecord(t *testing.T) {
+	b := sampleRecord().Encode()
+	// Flip a payload byte: a reader racing a writer sees garbage that
+	// the CRC must catch.
+	b[30] ^= 0x5A
+	if _, err := Decode(b); err != ErrChecksum {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestAppendToReusesBuffer(t *testing.T) {
+	buf := make([]byte, RecordSize)
+	r := sampleRecord()
+	out := r.AppendTo(buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("AppendTo should reuse a large-enough buffer")
+	}
+	if _, err := Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilMean(t *testing.T) {
+	r := sampleRecord()
+	if m := r.UtilMean(); m != (850+300)/2 {
+		t.Fatalf("UtilMean = %d, want 575", m)
+	}
+	var zero LoadRecord
+	if zero.UtilMean() != 0 {
+		t.Fatal("zero-CPU record should have zero mean util")
+	}
+}
+
+func TestPendingIRQTotal(t *testing.T) {
+	r := sampleRecord()
+	if n := r.PendingIRQTotal(); n != 7 {
+		t.Fatalf("PendingIRQTotal = %d, want 7", n)
+	}
+}
+
+func TestMemFraction(t *testing.T) {
+	r := sampleRecord()
+	want := float64(200000) / float64(1048576)
+	if f := r.MemFraction(); f != want {
+		t.Fatalf("MemFraction = %v, want %v", f, want)
+	}
+	var zero LoadRecord
+	if zero.MemFraction() != 0 {
+		t.Fatal("zero-total record should report 0 mem fraction")
+	}
+}
+
+func TestStringHasNodeAndSeq(t *testing.T) {
+	r := sampleRecord()
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func randomRecord(rng *rand.Rand) LoadRecord {
+	r := LoadRecord{
+		NumCPU:     uint8(rng.Intn(MaxCPU + 1)),
+		NodeID:     uint16(rng.Uint32()),
+		Seq:        rng.Uint32(),
+		KTimeNS:    rng.Int63(),
+		NrRunning:  uint16(rng.Uint32()),
+		NrTasks:    uint16(rng.Uint32()),
+		CumIRQ:     rng.Uint64(),
+		MemUsedKB:  rng.Uint32(),
+		MemTotalKB: rng.Uint32(),
+		NetRxBytes: rng.Uint64(),
+		NetTxBytes: rng.Uint64(),
+		CtxSwitch:  rng.Uint64(),
+		Conns:      uint16(rng.Uint32()),
+	}
+	for i := 0; i < MaxCPU; i++ {
+		r.UtilPerMille[i] = uint16(rng.Intn(1001))
+		r.IrqPendingHard[i] = uint16(rng.Intn(100))
+		r.IrqPendingSoft[i] = uint16(rng.Intn(100))
+	}
+	return r
+}
+
+// Property: encode/decode is the identity for arbitrary records.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		r := randomRecord(rng)
+		got, err := Decode(r.Encode())
+		return err == nil && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption of the payload is detected.
+func TestQuickCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64, pos uint16, delta uint8) bool {
+		if delta == 0 {
+			return true
+		}
+		rng.Seed(seed)
+		rr := randomRecord(rng)
+		b := rr.Encode()
+		b[int(pos)%RecordSize] ^= delta
+		_, err := Decode(b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := sampleRecord()
+	buf := make([]byte, RecordSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.AppendTo(buf)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := sampleRecord().Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rdmamon/internal/httpsim"
+	"rdmamon/internal/metrics"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+)
+
+// Generator produces the next request for a client. Implemented by
+// the RUBiS mix and the Zipf trace.
+type Generator func(rng *rand.Rand, id uint64, client int, now sim.Time) httpsim.Request
+
+// MixGenerator adapts a query Mix with heavy-tailed per-request
+// demands (see CostSigma).
+func MixGenerator(m *Mix) Generator {
+	return func(rng *rand.Rand, id uint64, client int, now sim.Time) httpsim.Request {
+		return m.Pick(rng).RequestVar(rng, id, client, now)
+	}
+}
+
+// ZipfGenerator adapts a ZipfTrace.
+func ZipfGenerator(z *ZipfTrace) Generator {
+	return func(rng *rand.Rand, id uint64, client int, now sim.Time) httpsim.Request {
+		return z.Request(rng, id, client, now)
+	}
+}
+
+// ClientPoolConfig configures a closed-loop client population (the
+// paper drives RUBiS with 8 client nodes x 8 emulator threads).
+type ClientPoolConfig struct {
+	Clients   int
+	ThinkMean sim.Time // exponential think time between a reply and the next request
+	FrontEnd  int      // dispatcher node ID
+	Port      string   // dispatch port (default httpsim.DispatchPort)
+	ExtBase   int      // first external ID (successive clients count down)
+	Gen       Generator
+	Seed      int64
+}
+
+// ClientPool is a closed-loop population of emulated clients living
+// outside the simulated cluster. Each client has one outstanding
+// request; response time is measured end to end at the client.
+type ClientPool struct {
+	Cfg ClientPoolConfig
+
+	fab *simnet.Fabric
+	rng *rand.Rand
+
+	// All accumulates every response time in milliseconds; PerClass
+	// and PerBackend break it down.
+	All        metrics.Sample
+	PerClass   map[string]*metrics.Sample
+	PerBackend map[int]*metrics.Sample
+
+	// Timeouts counts requests abandoned after RequestTimeout (the
+	// user gave up; the client moves on). Abandoned requests do not
+	// enter the response-time samples.
+	Timeouts uint64
+
+	// Rejected counts requests turned away by admission control; they
+	// do not enter the response-time samples either.
+	Rejected uint64
+
+	Completed uint64
+	nextID    uint64
+	stopped   bool
+	paused    bool
+	startedAt sim.Time
+	inflight  map[int]*inflightReq // by client ext ID
+}
+
+type inflightReq struct {
+	id      uint64
+	timeout *sim.Event
+}
+
+// RequestTimeout is how long a client waits before abandoning a
+// request and issuing its next one.
+const RequestTimeout = 10 * sim.Second
+
+// StartClients launches the pool on fab. Clients begin issuing
+// immediately, desynchronized by one think time.
+func StartClients(fab *simnet.Fabric, cfg ClientPoolConfig) *ClientPool {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.ThinkMean <= 0 {
+		cfg.ThinkMean = 200 * sim.Millisecond
+	}
+	if cfg.ExtBase > simnet.ExternalBase {
+		cfg.ExtBase = simnet.ExternalBase
+	}
+	if cfg.Port == "" {
+		cfg.Port = httpsim.DispatchPort
+	}
+	p := &ClientPool{
+		Cfg:        cfg,
+		fab:        fab,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		PerClass:   make(map[string]*metrics.Sample),
+		PerBackend: make(map[int]*metrics.Sample),
+		startedAt:  fab.Eng.Now(),
+		inflight:   make(map[int]*inflightReq),
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		ext := cfg.ExtBase - c
+		fab.RegisterExternal(ext, func(m simos.Message) { p.onReply(ext, m) })
+		// First request after one think time: staggers arrivals.
+		p.scheduleNext(ext)
+	}
+	return p
+}
+
+func (p *ClientPool) think() sim.Time {
+	d := p.rng.ExpFloat64() * float64(p.Cfg.ThinkMean)
+	if d < float64(sim.Millisecond) {
+		d = float64(sim.Millisecond)
+	}
+	return sim.Time(d)
+}
+
+func (p *ClientPool) scheduleNext(ext int) {
+	p.fab.Eng.After(p.think(), func() {
+		if p.stopped {
+			return
+		}
+		if p.paused {
+			// Client waits out the pause, checking back periodically.
+			p.fab.Eng.After(200*sim.Millisecond, func() { p.scheduleNext(ext) })
+			return
+		}
+		p.nextID++
+		id := p.nextID
+		req := p.Cfg.Gen(p.rng, id, ext, p.fab.Eng.Now())
+		fl := &inflightReq{id: id}
+		fl.timeout = p.fab.Eng.After(RequestTimeout, func() {
+			if p.stopped || p.inflight[ext] != fl {
+				return
+			}
+			delete(p.inflight, ext)
+			p.Timeouts++
+			p.scheduleNext(ext)
+		})
+		p.inflight[ext] = fl
+		p.fab.Inject(ext, p.Cfg.FrontEnd, p.Cfg.Port, req.Size, req)
+	})
+}
+
+func (p *ClientPool) onReply(ext int, m simos.Message) {
+	if p.stopped {
+		return
+	}
+	rep, ok := m.Payload.(httpsim.Reply)
+	if !ok {
+		return
+	}
+	fl := p.inflight[ext]
+	if fl == nil || fl.id != rep.ID {
+		return // reply to an abandoned request
+	}
+	delete(p.inflight, ext)
+	p.fab.Eng.Cancel(fl.timeout)
+	if rep.Rejected {
+		p.Rejected++
+		p.scheduleNext(ext)
+		return
+	}
+	rt := float64(p.fab.Eng.Now()-rep.Issued) / float64(sim.Millisecond)
+	p.All.Add(rt)
+	cs := p.PerClass[rep.Class]
+	if cs == nil {
+		cs = &metrics.Sample{}
+		p.PerClass[rep.Class] = cs
+	}
+	cs.Add(rt)
+	bs := p.PerBackend[rep.Backend]
+	if bs == nil {
+		bs = &metrics.Sample{}
+		p.PerBackend[rep.Backend] = bs
+	}
+	bs.Add(rt)
+	p.Completed++
+	// Closed loop: reply releases this client for its next request.
+	p.scheduleNext(ext)
+}
+
+// Stop freezes the pool: in-flight replies are ignored and no new
+// requests are issued.
+func (p *ClientPool) Stop() { p.stopped = true }
+
+// Pause suspends request issue; clients stay alive and resume when
+// Resume is called (used for phased workloads).
+func (p *ClientPool) Pause() { p.paused = true }
+
+// Resume lifts a Pause.
+func (p *ClientPool) Resume() { p.paused = false }
+
+// ResetStats clears accumulated samples and counters (e.g. after a
+// warm-up period) without disturbing the closed loop.
+func (p *ClientPool) ResetStats() {
+	p.All = metrics.Sample{}
+	p.PerClass = make(map[string]*metrics.Sample)
+	p.PerBackend = make(map[int]*metrics.Sample)
+	p.Completed = 0
+	p.startedAt = p.fab.Eng.Now()
+}
+
+// Throughput returns completed requests per second since start.
+func (p *ClientPool) Throughput() float64 {
+	el := p.fab.Eng.Now() - p.startedAt
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.Completed) / el.Seconds()
+}

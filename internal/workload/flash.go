@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rdmamon/internal/httpsim"
+	"rdmamon/internal/metrics"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+)
+
+// FlashCrowdConfig shapes an open-loop burst generator: every
+// (exponentially distributed) interval, a crowd of MinSize..MaxSize
+// requests arrives within SpanMS milliseconds. Auction sites see
+// exactly this pattern around popular items closing; it is the regime
+// where a dispatcher working from stale load information piles an
+// entire burst onto whichever server *used to* look idle.
+type FlashCrowdConfig struct {
+	FrontEnd  int
+	ExtID     int // external endpoint for replies
+	Every     sim.Time
+	MinSize   int
+	MaxSize   int
+	Span      sim.Time
+	Gen       Generator
+	Seed      int64
+	ClassOnly string // if set, tag all requests with this class
+}
+
+// FlashCrowd injects synchronized request bursts and records their
+// response times.
+type FlashCrowd struct {
+	Cfg FlashCrowdConfig
+
+	All      metrics.Sample
+	PerClass map[string]*metrics.Sample
+
+	Completed uint64
+	Issued    uint64
+	RejectedN uint64
+
+	fab     *simnet.Fabric
+	rng     *rand.Rand
+	stopped bool
+}
+
+// StartFlashCrowd launches the generator on fab.
+func StartFlashCrowd(fab *simnet.Fabric, cfg FlashCrowdConfig) *FlashCrowd {
+	if cfg.Every <= 0 {
+		cfg.Every = 2 * sim.Second
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 20
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 20 * sim.Millisecond
+	}
+	fc := &FlashCrowd{
+		Cfg:      cfg,
+		fab:      fab,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		PerClass: make(map[string]*metrics.Sample),
+	}
+	fab.RegisterExternal(cfg.ExtID, fc.onReply)
+	fc.scheduleBurst()
+	return fc
+}
+
+func (fc *FlashCrowd) scheduleBurst() {
+	wait := sim.Time(fc.rng.ExpFloat64() * float64(fc.Cfg.Every))
+	if wait < 100*sim.Millisecond {
+		wait = 100 * sim.Millisecond
+	}
+	fc.fab.Eng.After(wait, func() {
+		if fc.stopped {
+			return
+		}
+		n := fc.Cfg.MinSize + fc.rng.Intn(fc.Cfg.MaxSize-fc.Cfg.MinSize+1)
+		for i := 0; i < n; i++ {
+			off := sim.Time(fc.rng.Int63n(int64(fc.Cfg.Span) + 1))
+			fc.fab.Eng.After(off, fc.injectOne)
+		}
+		fc.scheduleBurst()
+	})
+}
+
+func (fc *FlashCrowd) injectOne() {
+	if fc.stopped {
+		return
+	}
+	fc.Issued++
+	req := fc.Cfg.Gen(fc.rng, fc.Issued, fc.Cfg.ExtID, fc.fab.Eng.Now())
+	if fc.Cfg.ClassOnly != "" {
+		req.Class = fc.Cfg.ClassOnly
+	}
+	fc.fab.Inject(fc.Cfg.ExtID, fc.Cfg.FrontEnd, httpsim.DispatchPort, req.Size, req)
+}
+
+func (fc *FlashCrowd) onReply(m simos.Message) {
+	if fc.stopped {
+		return
+	}
+	rep, ok := m.Payload.(httpsim.Reply)
+	if !ok {
+		return
+	}
+	if rep.Rejected {
+		fc.RejectedN++
+		return
+	}
+	rt := float64(fc.fab.Eng.Now()-rep.Issued) / float64(sim.Millisecond)
+	fc.All.Add(rt)
+	cs := fc.PerClass[rep.Class]
+	if cs == nil {
+		cs = &metrics.Sample{}
+		fc.PerClass[rep.Class] = cs
+	}
+	cs.Add(rt)
+	fc.Completed++
+}
+
+// Stop ends burst generation.
+func (fc *FlashCrowd) Stop() { fc.stopped = true }
+
+// ResetStats clears accumulated samples (e.g. after warm-up).
+func (fc *FlashCrowd) ResetStats() {
+	fc.All = metrics.Sample{}
+	fc.PerClass = make(map[string]*metrics.Sample)
+	fc.Completed = 0
+	fc.Issued = 0
+}

@@ -1,0 +1,123 @@
+// Package workload provides the paper's workload generators: the
+// RUBiS auction-site query mix (Table 1), Zipf static-document traces
+// (§5.2.1), closed-loop client pools, and the background compute+
+// communicate load and floating-point application used by the
+// micro-benchmarks (§5.1).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"rdmamon/internal/httpsim"
+	"rdmamon/internal/sim"
+)
+
+// CostSigma is the lognormal spread of per-request service demands.
+// Dynamic-content queries are strongly heavy-tailed (database cache
+// misses, lock waits — see the RUBiS bottleneck characterisation the
+// paper cites), and this invisible-to-request-counts variance is
+// precisely what load-aware dispatching exploits.
+const CostSigma = 0.45
+
+// QueryClass describes one RUBiS query type: its service demand on a
+// back-end and its share of the request mix.
+type QueryClass struct {
+	Name   string
+	CPU    sim.Time // CPU demand (PHP + MySQL processing)
+	IOWait sim.Time // database/disk wait without CPU
+	Size   int      // request bytes
+	Resp   int      // response bytes
+	Weight int      // relative frequency in the mix
+}
+
+// RUBiSMix returns the eight query classes the paper's Table 1
+// reports, with service demands calibrated so that unloaded average
+// response times land in the paper's 2-17 ms range.
+func RUBiSMix() []QueryClass {
+	return []QueryClass{
+		{Name: "Home", CPU: 1500 * sim.Microsecond, IOWait: 500 * sim.Microsecond, Size: 300, Resp: 4 << 10, Weight: 12},
+		{Name: "Browse", CPU: 1600 * sim.Microsecond, IOWait: 700 * sim.Microsecond, Size: 300, Resp: 8 << 10, Weight: 22},
+		{Name: "BrowseRegions", CPU: 3500 * sim.Microsecond, IOWait: 1500 * sim.Microsecond, Size: 320, Resp: 12 << 10, Weight: 12},
+		{Name: "BrowseCatgryReg", CPU: 9 * sim.Millisecond, IOWait: 6 * sim.Millisecond, Size: 340, Resp: 24 << 10, Weight: 8},
+		{Name: "SearchItemsReg", CPU: 2200 * sim.Microsecond, IOWait: 1200 * sim.Microsecond, Size: 360, Resp: 10 << 10, Weight: 18},
+		{Name: "PutBidAuth", CPU: 1400 * sim.Microsecond, IOWait: 800 * sim.Microsecond, Size: 400, Resp: 2 << 10, Weight: 10},
+		{Name: "Sell", CPU: 1800 * sim.Microsecond, IOWait: 1500 * sim.Microsecond, Size: 420, Resp: 3 << 10, Weight: 8},
+		{Name: "AboutMe", CPU: 1500 * sim.Microsecond, IOWait: 800 * sim.Microsecond, Size: 320, Resp: 6 << 10, Weight: 10},
+	}
+}
+
+// QueryNames returns the class names in Table 1 order.
+func QueryNames(classes []QueryClass) []string {
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Mix samples query classes according to their weights.
+type Mix struct {
+	classes []QueryClass
+	total   int
+}
+
+// NewMix builds a sampler over classes.
+func NewMix(classes []QueryClass) *Mix {
+	m := &Mix{classes: classes}
+	for _, c := range classes {
+		if c.Weight <= 0 {
+			panic("workload: class weight must be positive")
+		}
+		m.total += c.Weight
+	}
+	return m
+}
+
+// Pick returns one class sampled by weight.
+func (m *Mix) Pick(rng *rand.Rand) QueryClass {
+	n := rng.Intn(m.total)
+	for _, c := range m.classes {
+		n -= c.Weight
+		if n < 0 {
+			return c
+		}
+	}
+	return m.classes[len(m.classes)-1]
+}
+
+// costFactor draws the request's lognormal demand multiplier, clamped
+// to [0.3, 5] (a 5x tail request is a database cache storm, not an
+// outage).
+func costFactor(rng *rand.Rand) float64 {
+	f := math.Exp(rng.NormFloat64() * CostSigma)
+	if f < 0.3 {
+		f = 0.3
+	}
+	if f > 5 {
+		f = 5
+	}
+	return f
+}
+
+// Request materializes a request of the given class with deterministic
+// (mean) demands. Used where reproducible fixed costs are wanted.
+func (c QueryClass) Request(id uint64, client int, now sim.Time) httpsim.Request {
+	return httpsim.Request{
+		ID: id, Class: c.Name,
+		CPU: c.CPU, IOWait: c.IOWait,
+		Size: c.Size, Resp: c.Resp,
+		Client: client, Issued: now,
+	}
+}
+
+// RequestVar materializes a request with heavy-tailed demands: both
+// the CPU demand and the I/O wait scale with the same lognormal
+// factor (a cache-missing query burns more CPU and waits longer).
+func (c QueryClass) RequestVar(rng *rand.Rand, id uint64, client int, now sim.Time) httpsim.Request {
+	req := c.Request(id, client, now)
+	f := costFactor(rng)
+	req.CPU = sim.Time(float64(req.CPU) * f)
+	req.IOWait = sim.Time(float64(req.IOWait) * f)
+	return req
+}
