@@ -1,0 +1,40 @@
+# Repo-local CI. `make ci` is the gate a change must pass before it
+# lands: vet, build, the full suite under the race detector with
+# shuffled test order, and a short smoke run of every fuzzer.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race fuzz bench clean
+
+ci: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Fast pass: no race detector, slow experiments skipped.
+test:
+	$(GO) test -short ./...
+
+# The real gate: race detector on, test order shuffled so hidden
+# inter-test ordering dependencies surface instead of calcifying.
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# Smoke-run each fuzzer for $(FUZZTIME). Native Go fuzzing allows one
+# -fuzz target per invocation, hence one line per fuzzer.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzLoadRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzLoadRecordFields -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
+	$(GO) test -run=^$$ -fuzz=FuzzServeFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
+
+# One-command reproduction pass over the paper's tables and figures.
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLivemonSmoke runs the live-mode example for real: one agent per
+// scheme on loopback, 20 probes each. Wall-clock bound is generous —
+// normal runs finish in well under a second — and exists to turn a
+// hung probe (missing deadline, stuck handshake) into a test failure
+// instead of a stalled CI job.
+func TestLivemonSmoke(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		main()
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("livemon example did not finish within 15s")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuickstartSmoke runs the example end to end. The simulation is
+// virtual-time so the whole five-scheme sweep takes well under a
+// second of wall clock; the watchdog catches a livelock regression.
+func TestQuickstartSmoke(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		main()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("quickstart example did not finish within 10s")
+	}
+}

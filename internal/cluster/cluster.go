@@ -10,6 +10,7 @@ import (
 
 	"rdmamon/internal/admission"
 	"rdmamon/internal/core"
+	"rdmamon/internal/faults"
 	"rdmamon/internal/httpsim"
 	"rdmamon/internal/loadbalance"
 	"rdmamon/internal/sim"
@@ -61,6 +62,16 @@ type Config struct {
 	// (loadbalance.WeightedProportional). Zero takes that policy's
 	// default.
 	Gamma float64
+
+	// ProbeTimeout bounds each monitoring probe (see core.Prober). Zero
+	// keeps the seed behaviour (no deadline); fault experiments set it
+	// so a dead back-end cannot stall the sequential probe cycle.
+	ProbeTimeout sim.Time
+
+	// MRRepin is how long a back-end agent takes to notice an
+	// invalidated memory region and re-register it (fault plans with
+	// MRInvalidations). Zero takes 100ms.
+	MRRepin sim.Time
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -83,7 +94,8 @@ type Cluster struct {
 	Policy     loadbalance.Policy
 	Dispatcher *httpsim.Dispatcher
 
-	extCursor int
+	extCursor     int
+	retiredServed uint64 // served counts of servers replaced after a crash
 }
 
 // New builds a cluster. Node 0 is the front-end; back-ends are 1..N.
@@ -125,6 +137,7 @@ func New(cfg Config) *Cluster {
 	}
 	if !cfg.NoMonitor {
 		c.Monitor = core.StartMonitor(c.Front, c.FNIC, c.Agents, cfg.Poll)
+		c.Monitor.SetProbeTimeout(cfg.ProbeTimeout)
 	}
 	c.Policy = c.buildPolicy()
 	if !cfg.NoServers {
@@ -157,12 +170,16 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 		return &loadbalance.Random{Backends: ids, Rng: c.Rand}
 	case PolicyLeastLoad, PolicyWebSphere:
 		var source loadbalance.LoadSource
+		var exclude func(int) bool
 		if c.Monitor != nil {
 			m := c.Monitor
 			source = func(b int) (wire.LoadRecord, bool) {
 				rec, _, ok := m.Latest(b)
 				return rec, ok
 			}
+			// Quarantined back-ends (3 consecutive failed probes) get
+			// zero traffic until they pass probation.
+			exclude = func(b int) bool { return !m.Health(b).Eligible() }
 		} else {
 			source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }
 		}
@@ -172,6 +189,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 				Weights:  core.WeightsFor(c.Cfg.Scheme),
 				Source:   source,
 				Rng:      c.Rand,
+				Exclude:  exclude,
 				Picks:    make(map[int]uint64),
 			}
 		}
@@ -182,6 +200,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 			Rng:        c.Rand,
 			Gamma:      c.Cfg.Gamma,
 			StaleAfter: 250 * sim.Millisecond,
+			Exclude:    exclude,
 			Picks:      make(map[int]uint64),
 		}
 		if c.Monitor != nil {
@@ -257,13 +276,84 @@ func (c *Cluster) StartFlashCrowds(every sim.Time, minSize, maxSize int, seed in
 	})
 }
 
-// TotalServed sums completed requests across back-end servers.
+// TotalServed sums completed requests across back-end servers,
+// including servers that died and were replaced under a fault plan.
 func (c *Cluster) TotalServed() uint64 {
-	var n uint64
+	n := c.retiredServed
 	for _, s := range c.Servers {
 		n += s.Served()
 	}
 	return n
+}
+
+// ApplyFaults installs a fault plan on the cluster and returns the
+// armed injector. Node-level faults (crash/restart/freeze) come with
+// the application-level consequences wired in: a crash kills the
+// back-end's web server and monitoring agent along with every other
+// task on the node; a restart boots fresh ones (new worker pool, new
+// agent with a fresh memory registration) and points the monitor's
+// prober at the new agent — the restarted back-end then earns its way
+// out of quarantine through probation, probe by probe.
+func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
+	in := faults.NewInjector(c.Eng, plan)
+	nodes := map[int]*simos.Node{0: c.Front}
+	for i, n := range c.Backends {
+		nodes[i+1] = n
+	}
+	idx := func(node int) int {
+		if node < 1 || node > len(c.Backends) {
+			return -1
+		}
+		return node - 1
+	}
+	in.OnCrash = func(node int) {
+		i := idx(node)
+		if i < 0 {
+			return
+		}
+		// Node.Crash already killed the tasks; mark the wrappers
+		// stopped and drop the dead agent's memory registration so its
+		// remote key goes invalid, as a real HCA would on power loss.
+		if !c.Cfg.NoServers && c.Servers[i] != nil {
+			c.retiredServed += c.Servers[i].Served()
+			c.Servers[i].Stop()
+		}
+		if !c.Cfg.NoMonitor && c.Agents[i] != nil {
+			c.Agents[i].Stop()
+		}
+	}
+	in.OnRestart = func(node int) {
+		i := idx(node)
+		if i < 0 {
+			return
+		}
+		n := c.Backends[i]
+		nic := c.BNICs[i]
+		if !c.Cfg.NoServers {
+			c.Servers[i] = httpsim.StartServer(n, nic, httpsim.ServerConfig{
+				Workers: c.Cfg.Workers, MemPerKB: 2048,
+			})
+		}
+		if !c.Cfg.NoMonitor {
+			c.Agents[i] = core.StartAgent(n, nic, core.AgentConfig{
+				Scheme: c.Cfg.Scheme, Interval: c.Cfg.Poll,
+			})
+			c.Monitor.ReplaceAgent(node, c.Agents[i])
+		}
+	}
+	in.OnMRInvalidate = func(node int) {
+		i := idx(node)
+		if i < 0 || c.Cfg.NoMonitor || c.Agents[i] == nil {
+			return
+		}
+		repin := c.Cfg.MRRepin
+		if repin <= 0 {
+			repin = 100 * sim.Millisecond
+		}
+		c.Agents[i].InvalidateMR(repin)
+	}
+	in.Install(c.Fab, nodes)
+	return in
 }
 
 // EnableAdmission installs an admission controller in front of the

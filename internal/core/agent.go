@@ -91,8 +91,9 @@ type Agent struct {
 	node    *simos.Node
 	nic     *simnet.NIC
 	mr      *simnet.MR
-	shared  []byte // "known memory location": encoded record
-	dmaBuf  []byte // scratch for kernel-direct encoding
+	mrSrc   func() []byte // registration source, kept for re-pinning
+	shared  []byte        // "known memory location": encoded record
+	dmaBuf  []byte        // scratch for kernel-direct encoding
 	seq     uint32
 	stopped bool
 	tasks   []*simos.Task
@@ -118,17 +119,19 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 	case RDMAAsync:
 		prime()
 		a.startCalcLoop()
-		a.mr = nic.RegisterMR(simnet.StaticSource(a.shared), wire.RecordSize)
+		a.mrSrc = simnet.StaticSource(a.shared)
+		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
 	case RDMASync, ERDMASync:
 		// Register the kernel statistics directly: the source closure
 		// runs at the remote NIC's DMA instant, with zero host-CPU
 		// cost, and always sees the live values.
 		a.dmaBuf = make([]byte, wire.RecordSize)
-		a.mr = nic.RegisterMR(func() []byte {
+		a.mrSrc = func() []byte {
 			a.seq++
 			rec := RecordFromSnapshot(node.K.Snapshot(), a.seq)
 			return rec.AppendTo(a.dmaBuf)
-		}, wire.RecordSize)
+		}
+		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
 	default:
 		panic(fmt.Sprintf("core: unknown scheme %v", cfg.Scheme))
 	}
@@ -173,6 +176,30 @@ func (a *Agent) Stop() {
 		a.nic.Deregister(a.mr)
 		a.mr = nil
 	}
+}
+
+// InvalidateMR models the remote key going stale: the region is
+// deregistered immediately (in-flight and subsequent reads with the
+// old key fail) and, if repin > 0, re-registered with a fresh key
+// after repin of virtual time — the agent noticing and re-pinning the
+// page. Probers pick the new key up automatically because they ask the
+// agent for RKey() on every probe.
+func (a *Agent) InvalidateMR(repin sim.Time) {
+	if a.mr == nil {
+		return
+	}
+	a.nic.Deregister(a.mr)
+	a.mr = nil
+	if repin <= 0 || a.stopped {
+		return
+	}
+	src := a.mrSrc
+	a.node.Eng.After(repin, func() {
+		if a.stopped || a.mr != nil {
+			return
+		}
+		a.mr = a.nic.RegisterMR(src, wire.RecordSize)
+	})
 }
 
 // startCalcLoop runs the load-calculating thread: read /proc, copy the

@@ -1,0 +1,130 @@
+package core
+
+// Health is the monitor's belief about a back-end, driven purely by
+// probe outcomes. The machine is deliberately conservative in both
+// directions: a back-end is not condemned on one lost probe (transient
+// loss is routine on a lossy link), and a condemned back-end is not
+// trusted again on one good probe (a flapping host should not bounce
+// in and out of the dispatch set).
+//
+//	Healthy --fail--> Suspect --fail*N--> Quarantined
+//	Quarantined --ok--> Probation --ok*M--> Healthy
+//	Suspect --ok--> Healthy         Probation --fail--> Quarantined
+type Health int
+
+const (
+	// Healthy: probes succeed; full member of the dispatch set.
+	Healthy Health = iota
+	// Suspect: at least one recent probe failed, but fewer than the
+	// quarantine threshold in a row. Still dispatched to.
+	Suspect
+	// Quarantined: enough consecutive failures that the back-end is
+	// presumed dead. Excluded from dispatch.
+	Quarantined
+	// Probation: a quarantined back-end answered a probe; it must
+	// answer several in a row before traffic returns.
+	Probation
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	}
+	return "?"
+}
+
+// Eligible reports whether a back-end in this state should receive
+// dispatched traffic.
+func (h Health) Eligible() bool { return h == Healthy || h == Suspect }
+
+// HealthTracker runs the health state machine for one back-end.
+// The zero value is usable (it gets default thresholds on first use).
+type HealthTracker struct {
+	// QuarantineAfter is the number of consecutive failures that move
+	// Suspect to Quarantined. Default 3.
+	QuarantineAfter int
+	// ProbationOK is the number of consecutive successes that move
+	// Probation to Healthy. Default 2.
+	ProbationOK int
+
+	state     Health
+	failRun   int
+	okRun     int
+	Failures  uint64 // total failed probes observed
+	Successes uint64 // total successful probes observed
+}
+
+func (ht *HealthTracker) thresholds() (qa, po int) {
+	qa, po = ht.QuarantineAfter, ht.ProbationOK
+	if qa <= 0 {
+		qa = 3
+	}
+	if po <= 0 {
+		po = 2
+	}
+	return
+}
+
+// State returns the current health state.
+func (ht *HealthTracker) State() Health { return ht.state }
+
+// Fail records a failed probe and returns the new state.
+func (ht *HealthTracker) Fail() Health {
+	qa, _ := ht.thresholds()
+	ht.Failures++
+	ht.okRun = 0
+	ht.failRun++
+	switch ht.state {
+	case Healthy:
+		ht.state = Suspect
+		if ht.failRun >= qa {
+			ht.state = Quarantined
+		}
+	case Suspect:
+		if ht.failRun >= qa {
+			ht.state = Quarantined
+		}
+	case Probation:
+		// One bad probe during probation sends it straight back.
+		ht.state = Quarantined
+	}
+	return ht.state
+}
+
+// OK records a successful probe and returns the new state.
+func (ht *HealthTracker) OK() Health {
+	_, po := ht.thresholds()
+	ht.Successes++
+	ht.failRun = 0
+	ht.okRun++
+	switch ht.state {
+	case Suspect:
+		ht.state = Healthy
+	case Quarantined:
+		ht.state = Probation
+		if ht.okRun >= po {
+			ht.state = Healthy
+		}
+	case Probation:
+		if ht.okRun >= po {
+			ht.state = Healthy
+		}
+	}
+	return ht.state
+}
+
+// Reset returns the tracker to Healthy with runs cleared (used when a
+// back-end is administratively replaced rather than observed to
+// recover).
+func (ht *HealthTracker) Reset() {
+	ht.state = Healthy
+	ht.failRun = 0
+	ht.okRun = 0
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"rdmamon/internal/metrics"
@@ -9,6 +10,9 @@ import (
 	"rdmamon/internal/simos"
 	"rdmamon/internal/wire"
 )
+
+// ErrProbeTimeout reports a probe whose reply missed the deadline.
+var ErrProbeTimeout = errors.New("core: probe timed out")
 
 // Prober is the front-end half of a monitoring scheme for one back-end
 // server: it periodically fetches that server's load record and keeps
@@ -29,10 +33,22 @@ type Prober struct {
 	lastAt sim.Time
 	has    bool
 
+	// Timeout bounds one probe; 0 disables the deadline (the seed
+	// behaviour, preserved so fault-free experiments are unchanged).
+	// On the socket path a probe whose reply misses the deadline
+	// finishes with ErrProbeTimeout instead of blocking the cycle
+	// forever behind a dead back-end.
+	Timeout sim.Time
+
+	// Health tracks this back-end's probe-driven state machine.
+	Health HealthTracker
+
 	// Latency records round-trip probe latency in microseconds.
 	Latency metrics.Sample
-	// Errors counts failed probes (bad key, torn record, ...).
+	// Errors counts failed probes (bad key, torn record, timeout ...).
 	Errors int
+	// Timeouts counts the subset of Errors that were deadline expiries.
+	Timeouts int
 	// OnRecord, if set, observes every record as it arrives.
 	OnRecord func(rec wire.LoadRecord, at sim.Time)
 
@@ -106,11 +122,13 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 			p.last = rec
 			p.lastAt = p.front.Eng.Now()
 			p.has = true
+			p.Health.OK()
 			if p.OnRecord != nil {
 				p.OnRecord(rec, p.lastAt)
 			}
 		} else {
 			p.Errors++
+			p.Health.Fail()
 		}
 		p.Latency.Add(float64((p.front.Eng.Now() - start) / sim.Microsecond))
 		then(rec, err)
@@ -118,6 +136,9 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 	if p.Scheme.UsesRDMA() {
 		p.fnic.RDMARead(tk, p.Backend, p.agent.RKey(), wire.RecordSize, func(data []byte, err error) {
 			if err != nil {
+				if err == simnet.ErrTimeout {
+					p.Timeouts++
+				}
 				finish(wire.LoadRecord{}, err)
 				return
 			}
@@ -129,8 +150,16 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 		return
 	}
 	rp := p.front.Port(p.replyPort)
+	// Flush replies that arrived after a previous probe's deadline, so
+	// a late answer is never matched against this probe's request.
+	rp.Drain()
 	p.fnic.Send(tk, p.Backend, p.agent.Port(), ProbeReqSize, probeReq{ReplyPort: p.replyPort}, func() {
-		tk.Recv(rp, func(m simos.Message) {
+		tk.RecvTimeout(rp, p.Timeout, func(m simos.Message, ok bool) {
+			if !ok {
+				p.Timeouts++
+				finish(wire.LoadRecord{}, ErrProbeTimeout)
+				return
+			}
 			tk.Compute(p.decode, func() {
 				data, ok := m.Payload.([]byte)
 				if !ok {
@@ -198,6 +227,37 @@ func StartMonitor(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll sim
 
 // Backends returns the monitored back-end IDs in start order.
 func (m *Monitor) Backends() []int { return m.order }
+
+// SetProbeTimeout bounds every back-end's probe by d (0 disables).
+func (m *Monitor) SetProbeTimeout(d sim.Time) {
+	for _, p := range m.Probers {
+		p.Timeout = d
+	}
+}
+
+// Health returns the probe-driven health state of a back-end; unknown
+// back-ends report Quarantined (never dispatch blind).
+func (m *Monitor) Health(backend int) Health {
+	p := m.Probers[backend]
+	if p == nil {
+		return Quarantined
+	}
+	return p.Health.State()
+}
+
+// ReplaceAgent points the prober for a back-end at a freshly started
+// agent (after a crash/restart the old agent task and its registered
+// memory are gone). The health machine is deliberately NOT reset: the
+// restarted back-end earns its way back through probation by answering
+// probes, exactly like one that recovered on its own.
+func (m *Monitor) ReplaceAgent(backend int, a *Agent) {
+	p := m.Probers[backend]
+	if p == nil || a == nil {
+		return
+	}
+	p.agent = a
+	p.Scheme = a.Scheme
+}
 
 // Latest returns the newest record for a back-end.
 func (m *Monitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {

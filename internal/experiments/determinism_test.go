@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// diffResults compares two runs of the same experiment and reports the
+// first divergent series (row/column) with both values — the failure
+// message a determinism regression needs to be debuggable.
+func diffResults(t *testing.T, id string, a, b *Result) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: row count diverged: %d vs %d", id, len(a.Rows), len(b.Rows))
+	}
+	for ri := range a.Rows {
+		ra, rb := a.Rows[ri], b.Rows[ri]
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: row %d width diverged: %v vs %v", id, ri, ra, rb)
+		}
+		for ci := range ra {
+			if ra[ci] != rb[ci] {
+				series := "?"
+				if ci < len(a.Columns) {
+					series = a.Columns[ci]
+				}
+				label := ""
+				if len(ra) > 0 {
+					label = ra[0]
+				}
+				t.Fatalf("%s: first divergent series %q at row %q: run1=%q run2=%q",
+					id, series, label, ra[ci], rb[ci])
+			}
+		}
+	}
+}
+
+// run executes one experiment with a pinned seed at quick scale.
+func runOnce(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, Options{Seed: 424242, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFig3Deterministic: the micro-benchmark must be bit-identical
+// across two runs with the same seed.
+func TestFig3Deterministic(t *testing.T) {
+	diffResults(t, "fig3", runOnce(t, "fig3"), runOnce(t, "fig3"))
+}
+
+// TestFig7Deterministic: the full application-level experiment —
+// cluster, RUBiS + Zipf workloads, tenant noise, dispatcher — must be
+// bit-identical across two runs with the same seed.
+func TestFig7Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	diffResults(t, "fig7", runOnce(t, "fig7"), runOnce(t, "fig7"))
+}
+
+// TestFaultsDeterministic: determinism must survive the fault plan —
+// crashes, restarts, a lossy link window and an MR invalidation are
+// all driven by the engine clock and the plan's seeded rand stream, so
+// two runs must still agree bit-for-bit.
+func TestFaultsDeterministic(t *testing.T) {
+	diffResults(t, "faults", runOnce(t, "faults"), runOnce(t, "faults"))
+}

@@ -187,40 +187,82 @@ func (a *Agent) startRefresher() {
 }
 
 // Probe is the live front-end half: it fetches load records from one
-// agent using that agent's scheme semantics.
+// agent using that agent's scheme semantics. It survives agent
+// restarts: the underlying connection redials on transport failure
+// (tcpverbs.RetryPolicy), and a failed fetch triggers a re-handshake
+// that refreshes the scheme and region key — a restarted agent hands
+// out a fresh rkey, so the old one must be thrown away.
 type Probe struct {
+	mu     sync.Mutex
 	conn   *tcpverbs.Conn
 	scheme core.Scheme
 	rkey   uint32
+
+	// Rehandshakes counts successful post-failure re-handshakes.
+	Rehandshakes uint64
 }
 
-// Dial connects to an agent and discovers its scheme and region key.
+// Dial connects to an agent and discovers its scheme and region key,
+// using the transport's default operation timeout.
 func Dial(addr string) (*Probe, error) {
-	c, err := tcpverbs.Dial(addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects with an explicit per-operation deadline
+// (<= 0 takes the transport default).
+func DialTimeout(addr string, opTimeout time.Duration) (*Probe, error) {
+	c, err := tcpverbs.DialTimeout(addr, opTimeout)
 	if err != nil {
 		return nil, err
 	}
-	info, err := c.Call(portInfo, nil)
-	if err != nil {
+	p := &Probe{conn: c}
+	if err := p.handshake(); err != nil {
 		c.Close()
-		return nil, fmt.Errorf("livemon: info exchange: %w", err)
+		return nil, err
+	}
+	return p, nil
+}
+
+// handshake queries the info endpoint and stores scheme + rkey.
+// Caller need not hold p.mu for Dial; Fetch holds it.
+func (p *Probe) handshake() error {
+	info, err := p.conn.Call(portInfo, nil)
+	if err != nil {
+		return fmt.Errorf("livemon: info exchange: %w", err)
 	}
 	if len(info) < 5 {
-		c.Close()
-		return nil, fmt.Errorf("livemon: short info reply")
+		return fmt.Errorf("livemon: short info reply")
 	}
-	return &Probe{
-		conn:   c,
-		scheme: core.Scheme(info[0]),
-		rkey:   binary.BigEndian.Uint32(info[1:]),
-	}, nil
+	p.scheme = core.Scheme(info[0])
+	p.rkey = binary.BigEndian.Uint32(info[1:])
+	return nil
 }
 
 // Scheme returns the remote agent's scheme.
-func (p *Probe) Scheme() core.Scheme { return p.scheme }
+func (p *Probe) Scheme() core.Scheme {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scheme
+}
 
-// Fetch retrieves one load record.
+// Fetch retrieves one load record. On failure it re-handshakes once
+// (refreshing scheme and rkey from the — possibly restarted — agent)
+// and retries; the original error is returned if recovery also fails.
 func (p *Probe) Fetch() (wire.LoadRecord, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, err := p.fetchLocked()
+	if err == nil {
+		return rec, nil
+	}
+	if herr := p.handshake(); herr != nil {
+		return wire.LoadRecord{}, err
+	}
+	p.Rehandshakes++
+	return p.fetchLocked()
+}
+
+func (p *Probe) fetchLocked() (wire.LoadRecord, error) {
 	var raw []byte
 	var err error
 	if p.scheme.UsesRDMA() {

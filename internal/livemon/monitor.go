@@ -19,11 +19,18 @@ type Monitor struct {
 	last    map[string]wire.LoadRecord
 	lastAt  map[string]time.Time
 	errs    map[string]error
+	health  map[string]*core.HealthTracker
 	weights core.Weights
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// quarantineBackoff is how many poll ticks are skipped between probes
+// of a quarantined target: a presumed-dead host is checked at 1/4 rate
+// so the fleet's probe budget goes to the live ones, while recovery is
+// still noticed within a few intervals.
+const quarantineBackoff = 4
 
 // NewMonitor dials every target and starts polling. Targets that fail
 // to dial are reported in the returned error map; the monitor still
@@ -38,6 +45,7 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 		last:     make(map[string]wire.LoadRecord),
 		lastAt:   make(map[string]time.Time),
 		errs:     make(map[string]error),
+		health:   make(map[string]*core.HealthTracker),
 		weights:  core.DefaultWeights(),
 		stop:     make(chan struct{}),
 	}
@@ -49,6 +57,7 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 			continue
 		}
 		m.probes[t] = p
+		m.health[t] = &core.HealthTracker{}
 	}
 	for t, p := range m.probes {
 		m.wg.Add(1)
@@ -64,24 +73,53 @@ func (m *Monitor) poll(target string, p *Probe) {
 	fetch := func() {
 		rec, err := p.Fetch()
 		m.mu.Lock()
+		ht := m.health[target]
 		if err != nil {
 			m.errs[target] = err
+			ht.Fail()
 		} else {
 			delete(m.errs, target)
 			m.last[target] = rec
 			m.lastAt[target] = time.Now()
+			ht.OK()
 		}
 		m.mu.Unlock()
 	}
 	fetch()
+	skipped := 0
 	for {
 		select {
 		case <-m.stop:
 			return
 		case <-tick.C:
+			m.mu.RLock()
+			quarantined := m.health[target].State() == core.Quarantined
+			m.mu.RUnlock()
+			if quarantined {
+				// Probe a presumed-dead target at reduced rate; each
+				// attempt still costs a full deadline if it's gone.
+				skipped++
+				if skipped%quarantineBackoff != 0 {
+					continue
+				}
+			} else {
+				skipped = 0
+			}
 			fetch()
 		}
 	}
+}
+
+// Health returns the probe-driven health state of a target; unknown
+// targets report Quarantined.
+func (m *Monitor) Health(target string) core.Health {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ht := m.health[target]
+	if ht == nil {
+		return core.Quarantined
+	}
+	return ht.State()
 }
 
 // Latest returns the newest record for a target.
@@ -102,19 +140,32 @@ func (m *Monitor) Err(target string) error {
 
 // LeastLoaded returns the connected target with the smallest load
 // index (the live analogue of the dispatcher's choice), or "" if no
-// records have arrived yet.
+// records have arrived yet. Quarantined and probation targets are
+// skipped while any eligible target exists; if the whole fleet is
+// condemned it falls back to considering everyone.
 func (m *Monitor) LeastLoaded() string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	best := ""
-	bestIdx := 0.0
-	for t, rec := range m.last {
-		idx := m.weights.Index(rec)
-		if best == "" || idx < bestIdx {
-			best, bestIdx = t, idx
+	pick := func(requireEligible bool) string {
+		best := ""
+		bestIdx := 0.0
+		for t, rec := range m.last {
+			if requireEligible {
+				if ht := m.health[t]; ht != nil && !ht.State().Eligible() {
+					continue
+				}
+			}
+			idx := m.weights.Index(rec)
+			if best == "" || idx < bestIdx {
+				best, bestIdx = t, idx
+			}
 		}
+		return best
 	}
-	return best
+	if best := pick(true); best != "" {
+		return best
+	}
+	return pick(false)
 }
 
 // Targets lists the connected targets.

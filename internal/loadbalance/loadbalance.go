@@ -78,6 +78,16 @@ type WeightedLeastLoad struct {
 	LocalFrac   func(backend int) float64
 	LocalWeight float64
 
+	// Exclude, if set, removes a back-end from consideration (the
+	// monitor's quarantine verdict). If every back-end is excluded the
+	// policy falls back to considering all of them — sending a request
+	// to a possibly-dead server beats sending it nowhere.
+	Exclude func(backend int) bool
+
+	// ExcludedPicks counts picks where at least one back-end was
+	// skipped by Exclude — dispatch decisions shaped by quarantine.
+	ExcludedPicks uint64
+
 	// Picks counts per-backend selections, for imbalance diagnostics.
 	Picks map[int]uint64
 }
@@ -90,7 +100,12 @@ func (w *WeightedLeastLoad) Pick() int {
 	best := -1
 	bestIdx := 0.0
 	ties := 0
+	skipped := false
 	for _, b := range w.Backends {
+		if w.Exclude != nil && w.Exclude(b) {
+			skipped = true
+			continue
+		}
 		idx := 0.0
 		if rec, ok := w.Source(b); ok {
 			idx = w.Weights.Index(rec)
@@ -114,6 +129,17 @@ func (w *WeightedLeastLoad) Pick() int {
 			if w.Rng != nil && w.Rng.Intn(ties) == 0 {
 				best = b
 			}
+		}
+	}
+	if skipped {
+		w.ExcludedPicks++
+	}
+	if best < 0 {
+		// Everything quarantined: fall back to uniform over all.
+		if w.Rng != nil {
+			best = w.Backends[w.Rng.Intn(len(w.Backends))]
+		} else {
+			best = w.Backends[0]
 		}
 	}
 	if w.Picks != nil {
@@ -151,6 +177,12 @@ type WeightedProportional struct {
 	LocalFrac   func(backend int) float64
 	LocalWeight float64
 
+	// Exclude / ExcludedPicks: as in WeightedLeastLoad. An excluded
+	// back-end's weight is zero, so its traffic share is zero while
+	// quarantined; uniform fallback if everything is excluded.
+	Exclude       func(backend int) bool
+	ExcludedPicks uint64
+
 	// Picks counts per-backend selections.
 	Picks map[int]uint64
 
@@ -171,7 +203,13 @@ func (w *WeightedProportional) Pick() int {
 	}
 	w.weights = w.weights[:len(w.Backends)]
 	total := 0.0
+	skipped := false
 	for i, b := range w.Backends {
+		if w.Exclude != nil && w.Exclude(b) {
+			w.weights[i] = 0
+			skipped = true
+			continue
+		}
 		idx := 0.0
 		conf := 1.0
 		switch {
@@ -210,16 +248,35 @@ func (w *WeightedProportional) Pick() int {
 		w.weights[i] = wt
 		total += wt
 	}
+	if skipped {
+		w.ExcludedPicks++
+	}
 	pick := w.Backends[0]
-	if total > 0 && w.Rng != nil {
+	if total > 0 {
+		for i, b := range w.Backends {
+			if w.weights[i] > 0 {
+				pick = b // rounding-safe default: first eligible
+				break
+			}
+		}
+	}
+	switch {
+	case total > 0 && w.Rng != nil:
 		x := w.Rng.Float64() * total
 		for i, b := range w.Backends {
+			if w.weights[i] == 0 {
+				continue // excluded: zero share while quarantined
+			}
 			x -= w.weights[i]
 			if x <= 0 {
 				pick = b
 				break
 			}
 		}
+	case total == 0 && w.Rng != nil:
+		// Everything quarantined: uniform over all beats dispatching
+		// every request to Backends[0].
+		pick = w.Backends[w.Rng.Intn(len(w.Backends))]
 	}
 	if w.Picks != nil {
 		w.Picks[pick]++

@@ -34,7 +34,34 @@ var (
 	ErrBadKey     = errors.New("simnet: invalid remote key")
 	ErrPermission = errors.New("simnet: remote access permission denied")
 	ErrLength     = errors.New("simnet: access beyond region bounds")
+	// ErrTimeout is the initiator-side completion when the target is
+	// dead, partitioned away, or the fabric dropped the operation: the
+	// HCA exhausts its transport retries and fails the work request.
+	ErrTimeout = errors.New("simnet: transport retry limit exceeded")
 )
+
+// ChannelVerdict is a fault model's decision about one channel-
+// semantics delivery attempt.
+type ChannelVerdict struct {
+	Drop  bool     // lose the packet (sender's TCP retransmits after RTO)
+	Dup   bool     // deliver a duplicate as well
+	Delay sim.Time // extra one-way latency
+}
+
+// RDMAVerdict is a fault model's decision about one one-sided
+// operation.
+type RDMAVerdict struct {
+	Fail  bool     // complete with ErrTimeout after the transport timeout
+	Delay sim.Time // extra fabric latency
+}
+
+// FaultModel lets a fault-injection layer (internal/faults) perturb the
+// fabric. Both hooks are consulted once per attempt, on the engine
+// goroutine, so a deterministic model yields a deterministic run.
+type FaultModel interface {
+	Channel(from, dst, size int) ChannelVerdict
+	RDMA(from, target int) RDMAVerdict
+}
 
 // ExternalID is the node-ID space used for endpoints outside the
 // simulated cluster (e.g. client machines driving the workload). IDs
@@ -66,6 +93,11 @@ type Config struct {
 	SockDropThresh int      // connection backlog where dropping begins
 	RTO            sim.Time // retransmission timeout
 	MaxRetries     int
+
+	// RDMATimeout is how long the initiating NIC takes to complete a
+	// work request with ErrTimeout when the target is unreachable
+	// (transport retry counter exhausted in firmware).
+	RDMATimeout sim.Time
 }
 
 // Defaults returns fabric constants calibrated to the paper's testbed.
@@ -83,6 +115,7 @@ func Defaults() Config {
 		SockDropThresh: 12,
 		RTO:            200 * sim.Millisecond,
 		MaxRetries:     8,
+		RDMATimeout:    20 * sim.Millisecond,
 	}
 }
 
@@ -120,6 +153,9 @@ func (c *Config) sanitize() {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = d.MaxRetries
 	}
+	if c.RDMATimeout <= 0 {
+		c.RDMATimeout = d.RDMATimeout
+	}
 }
 
 // Fabric is the cluster interconnect.
@@ -131,6 +167,10 @@ type Fabric struct {
 	externals   map[int]func(simos.Message)
 	groups      map[string][]groupMember
 	established map[string]bool
+
+	// Faults, when non-nil, perturbs deliveries and RDMA operations
+	// (see internal/faults). Install via SetFaults before traffic runs.
+	Faults FaultModel
 
 	// AblationRDMATargetIRQ, when set, charges a network interrupt on
 	// the target node for every RDMA operation — deliberately breaking
@@ -208,8 +248,36 @@ func (f *Fabric) deliver(from, dst int, port string, size int, payload any) {
 	f.attempt(m, dst, port, 0)
 }
 
+// SetFaults installs (or clears, with nil) a fault model.
+func (f *Fabric) SetFaults(fm FaultModel) { f.Faults = fm }
+
 func (f *Fabric) attempt(m simos.Message, dst int, port string, try int) {
-	f.Eng.After(f.xmit(m.Size), func() {
+	var extra sim.Time
+	if f.Faults != nil {
+		v := f.Faults.Channel(m.From, dst, m.Size)
+		if v.Drop {
+			// Lost on the wire: the sender's TCP retransmits after RTO
+			// (each retransmission faces the fault model again — a
+			// flapping link can eat the whole retry budget).
+			f.retry(m, dst, port, try)
+			return
+		}
+		if v.Dup && try == 0 {
+			f.Eng.After(f.Cfg.WireLatency, func() { f.transmit(m, dst, port, try, 0) })
+		}
+		extra = v.Delay
+	}
+	f.transmit(m, dst, port, try, extra)
+}
+
+func (f *Fabric) retry(m simos.Message, dst int, port string, try int) {
+	if try < f.Cfg.MaxRetries {
+		f.Eng.After(f.Cfg.RTO, func() { f.attempt(m, dst, port, try+1) })
+	}
+}
+
+func (f *Fabric) transmit(m simos.Message, dst int, port string, try int, extra sim.Time) {
+	f.Eng.After(f.xmit(m.Size)+extra, func() {
 		if sink, ok := f.externals[dst]; ok {
 			sink(m)
 			return
@@ -219,6 +287,12 @@ func (f *Fabric) attempt(m simos.Message, dst int, port string, try int) {
 			return // dropped: no such host
 		}
 		node := nic.node
+		if node.Down() {
+			// Dead host: the packet vanishes; the sender's TCP keeps
+			// retransmitting into the void until its retry budget ends.
+			f.retry(m, dst, port, try)
+			return
+		}
 		node.RaiseNetIRQ(func() {
 			node.K.AddNetRx(m.Size)
 			if !f.established[port] && try < f.Cfg.MaxRetries && f.dropAtSocket(node) {
@@ -390,10 +464,25 @@ func (n *NIC) RDMARead(t *simos.Task, target int, key uint32, length int, then f
 			then(c.data, c.err)
 		})
 		n.RDMAReads++
-		f.Eng.After(f.xmit(16), func() { // request descriptor to target NIC
+		var extra sim.Time
+		if f.Faults != nil {
+			v := f.Faults.RDMA(n.node.ID, target)
+			if v.Fail {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
+				return
+			}
+			extra = v.Delay
+		}
+		f.Eng.After(f.xmit(16)+extra, func() { // request descriptor to target NIC
 			tn := f.nics[target]
 			if tn == nil {
 				n.complete(t, rdmaCompletion{err: ErrNoRoute})
+				return
+			}
+			if tn.node.Down() {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
 				return
 			}
 			f.Eng.After(f.Cfg.NICService, func() {
@@ -436,10 +525,25 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 			then(v.(rdmaCompletion).err)
 		})
 		n.RDMAWrites++
-		f.Eng.After(f.xmit(16+len(payload)), func() {
+		var extra sim.Time
+		if f.Faults != nil {
+			v := f.Faults.RDMA(n.node.ID, target)
+			if v.Fail {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
+				return
+			}
+			extra = v.Delay
+		}
+		f.Eng.After(f.xmit(16+len(payload))+extra, func() {
 			tn := f.nics[target]
 			if tn == nil {
 				n.complete(t, rdmaCompletion{err: ErrNoRoute})
+				return
+			}
+			if tn.node.Down() {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
 				return
 			}
 			f.Eng.After(f.Cfg.NICService, func() {

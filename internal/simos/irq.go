@@ -28,6 +28,9 @@ type irqReq struct {
 // runs in softirq context once the handler completes, typically
 // delivering a packet to a port.
 func (n *Node) RaiseNetIRQ(action func()) {
+	if n.down {
+		return // a crashed host raises no interrupts
+	}
 	c := n.cpus[n.Cfg.NetIRQCPU]
 	n.raiseIRQon(c, IRQNet, n.Cfg.NetIRQHard, n.Cfg.NetIRQSoft, action)
 }
@@ -88,6 +91,13 @@ func (c *cpu) serviceNextIRQ() {
 }
 
 func (c *cpu) resumeFromIRQ() {
+	if c.node.frozen && c.cur != nil {
+		// The machine stalled while this CPU was in interrupt context:
+		// the paused task goes back to its queue instead of resuming.
+		// Interrupt time is not the task's — reset its charge interval.
+		c.cur.startedAt = c.node.Eng.Now()
+		c.node.preempt(c)
+	}
 	if t := c.cur; t != nil {
 		t.demoteIfSpent()
 		c.setState(accUser)

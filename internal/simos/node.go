@@ -157,6 +157,9 @@ type Node struct {
 	ports    map[string]*Port
 	queueSeq uint64
 
+	down   bool
+	frozen bool
+
 	K *KernelStats
 
 	tick *sim.Ticker
@@ -185,6 +188,78 @@ func NewNode(eng *sim.Engine, id int, cfg Config) *Node {
 // Stop cancels the node's periodic timer work. Used by tests; long
 // simulations normally just stop the engine.
 func (n *Node) Stop() { n.tick.Stop() }
+
+// Down reports whether the node has crashed and not yet restarted.
+func (n *Node) Down() bool { return n.down }
+
+// Frozen reports whether the node is in a freeze (slowdown) window.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// Crash fails the node: every task dies, ports lose their queues and
+// waiters, and the timer stops. The network model treats a down node as
+// unreachable (packets vanish, RDMA completes with a transport error).
+// Restart brings the machine back up empty; the caller is responsible
+// for respawning its workload, like any real reboot.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true // gates resched while the task set is torn down
+	victims := make([]*Task, 0, len(n.tasks))
+	for t := range n.tasks {
+		victims = append(victims, t)
+	}
+	for _, t := range victims {
+		t.exit()
+	}
+	for _, p := range n.ports {
+		p.queue = nil
+		for _, w := range p.waiters {
+			w.waitPort = nil
+			w.waitFn = nil
+		}
+		p.waiters = nil
+	}
+	n.tick.Stop()
+}
+
+// Restart brings a crashed node back up with no tasks and fresh ports.
+// Kernel counters (cumulative IRQ/context-switch totals) survive like
+// warm-boot hardware counters; callers respawn the workload.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.tick = n.Eng.NewTicker(n.Cfg.Tick, n.onTick)
+	n.resched()
+}
+
+// Freeze stalls all user-level progress (a GC pause, an overcommitted
+// hypervisor, a thermal throttle): running tasks are preempted and
+// nothing is dispatched until Thaw. Interrupt handling and NIC-side
+// RDMA service continue — which is exactly the asymmetry the paper
+// exploits: one-sided probes still observe a frozen node.
+func (n *Node) Freeze() {
+	if n.frozen || n.down {
+		return
+	}
+	n.frozen = true
+	for _, c := range n.cpus {
+		if c.cur != nil && !c.irqActive {
+			n.preempt(c)
+		}
+	}
+}
+
+// Thaw lifts a Freeze and resumes scheduling.
+func (n *Node) Thaw() {
+	if !n.frozen {
+		return
+	}
+	n.frozen = false
+	n.resched()
+}
 
 // onTick is the timer interrupt: a small cost on every CPU plus the
 // kernel's periodic accounting (utilisation sampling).

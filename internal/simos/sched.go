@@ -123,6 +123,9 @@ func (n *Node) popHighest() *Task {
 // the lowest band. Within a band there is no preemption (FIFO), which
 // is the mechanism behind the paper's Figure 3.
 func (n *Node) resched() {
+	if n.down || n.frozen {
+		return // no dispatching on a dead or stalled machine
+	}
 	for _, c := range n.cpus {
 		if c.cur == nil && !c.irqActive {
 			t := n.popHighest()

@@ -187,6 +187,33 @@ func (t *Task) Recv(p *Port, then func(Message)) {
 	t.node.resched()
 }
 
+// RecvTimeout blocks the task until a message arrives on p or d of
+// virtual time passes, whichever is first. then runs with ok=false on
+// timeout (the socket read deadline of the simulated world). A
+// non-positive d means no deadline.
+func (t *Task) RecvTimeout(p *Port, d sim.Time, then func(m Message, ok bool)) {
+	if d <= 0 {
+		t.Recv(p, func(m Message) { then(m, true) })
+		return
+	}
+	var timeoutEv *sim.Event
+	timeoutEv = t.node.Eng.After(d, func() {
+		if t.state != stateBlocked || t.waitPort != p {
+			return // already delivered (or task gone)
+		}
+		p.removeWaiter(t)
+		t.waitPort = nil
+		t.waitFn = nil
+		t.pendingBurst = 0
+		t.pendingCont = func() { then(Message{}, false) }
+		t.node.wake(t)
+	})
+	t.Recv(p, func(m Message) {
+		t.node.Eng.Cancel(timeoutEv)
+		then(m, true)
+	})
+}
+
 // continueWith keeps a running task on its CPU for an extra burst, or
 // queues the burst if the task is not running.
 func (t *Task) continueWith(burst sim.Time, cont func()) {
@@ -311,6 +338,15 @@ func (p *Port) Name() string { return p.name }
 
 // QueueLen returns the number of undelivered messages.
 func (p *Port) QueueLen() int { return len(p.queue) }
+
+// Drain discards all buffered messages, returning how many were
+// dropped. Probers use it to flush replies that arrived after their
+// deadline, so a late answer is never mistaken for a fresh one.
+func (p *Port) Drain() int {
+	n := len(p.queue)
+	p.queue = nil
+	return n
+}
 
 // Deliver hands a message to the port: if a task is blocked on the
 // port it becomes runnable (with a wakeup boost); otherwise the

@@ -1,0 +1,101 @@
+package tcpverbs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+// frame prefixes body with its u32 length, like writeFrame.
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader:
+// truncated headers, truncated bodies, oversized and lying length
+// fields. readFrame must never panic, never allocate more than the
+// bytes actually present, and must hand back exactly the framed body
+// when one is there.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                          // short header
+	f.Add(frame(nil))                               // empty body
+	f.Add(frame([]byte{opRead, 1, 2, 3}))           // valid-ish frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})           // 4GB length, no body
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0xAB})     // 16MB length, 1 byte
+	f.Add(append(frame([]byte{opCall}), 0xDE, 0xAD)) // trailing garbage
+	big := frame(bytes.Repeat([]byte{7}, 3*readChunk+17))
+	f.Add(big) // multi-chunk body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := readFrame(bytes.NewReader(data))
+		if len(data) < 4 {
+			if err == nil {
+				t.Fatal("frame decoded from a short header")
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(data)
+		switch {
+		case n > maxFrame:
+			if err == nil {
+				t.Fatalf("accepted oversized frame length %d", n)
+			}
+		case uint32(len(data)-4) < n:
+			if err == nil {
+				t.Fatalf("decoded %d-byte body from %d available", n, len(data)-4)
+			}
+			if err != io.ErrUnexpectedEOF && err != io.EOF {
+				t.Fatalf("truncated body: unexpected error %v", err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("valid frame rejected: %v", err)
+			}
+			if !bytes.Equal(body, data[4:4+n]) {
+				t.Fatalf("body mismatch: got %d bytes, want %d", len(body), n)
+			}
+		}
+	})
+}
+
+// FuzzServeFrame drives a full agent's dispatch path with arbitrary
+// frame bodies over a real connection: whatever the bytes say, the
+// agent must answer with a well-formed reply frame or close the
+// connection — never panic, never hang.
+func FuzzServeFrame(f *testing.F) {
+	f.Add([]byte{opRead, 0, 0, 0, 1, 0, 0, 0, 120})
+	f.Add([]byte{opRead})                   // short read body
+	f.Add([]byte{opWrite, 0, 0, 0, 1, 42})  // write to read-only key
+	f.Add([]byte{opCall, 4, 'r', 'm', 'o'}) // port length beyond body
+	f.Add([]byte{opCall, 0})                // empty port
+	f.Add([]byte{99, 1, 2, 3})              // unknown opcode
+	f.Add([]byte{})                         // empty body
+
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { a.Close() })
+	static := bytes.Repeat([]byte{9}, 120)
+	a.RegisterMR(func() []byte { return static }, 120)
+	a.HandleCall("rmon", func(p []byte) []byte { return p })
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		c, err := DialTimeout(a.Addr(), 2*time.Second)
+		if err != nil {
+			t.Skip("dial failed (fd pressure)")
+		}
+		defer c.Close()
+		c.Retry = RetryPolicy{Attempts: 1, Backoff: time.Millisecond}
+		// roundTrip either returns a parsed reply or a transport error
+		// (agent dropped the connection). Both are acceptable; what is
+		// not acceptable is a panic or a hang past the deadline.
+		_, _, _ = c.roundTrip(body)
+	})
+}

@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // Opcodes.
@@ -55,6 +57,57 @@ var (
 )
 
 const maxFrame = 16 << 20
+
+// readChunk bounds per-allocation growth while reading a frame body:
+// a lying length header can only cost memory as fast as the peer
+// actually sends bytes, never maxFrame up front.
+const readChunk = 64 << 10
+
+// Default deadlines. Every read and write on a connection carries one;
+// a dead peer costs a bounded wait, never a stuck goroutine.
+const (
+	// DefaultOpTimeout bounds one initiator operation (write + reply).
+	DefaultOpTimeout = 10 * time.Second
+	// DefaultIdleTimeout is how long an agent keeps an idle connection
+	// before assuming the initiator is gone.
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds an agent's reply write.
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// RetryPolicy governs the initiator's redial-and-replay behaviour when
+// an operation fails at the transport level. All operations the
+// monitoring library issues (reads, load-record calls, record writes)
+// are idempotent, so replaying a possibly-delivered frame is safe.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation (default 3).
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles each
+	// attempt (default 25ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 500ms).
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff by ±Jitter/2 of its value
+	// (default 0.5), de-synchronizing probers that all saw the same
+	// back-end die at the same moment.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
 
 func statusErr(s byte) error {
 	switch s {
@@ -94,6 +147,11 @@ func (m *MR) Key() uint32 { return m.key }
 // the RDMA NIC.
 type Agent struct {
 	ln net.Listener
+
+	// IdleTimeout / WriteTimeout override the defaults when set before
+	// the first connection arrives.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
 
 	mu       sync.RWMutex
 	mrs      map[uint32]*MR
@@ -217,7 +275,15 @@ func (a *Agent) acceptLoop() {
 }
 
 func (a *Agent) serve(c net.Conn) {
+	idle, write := a.IdleTimeout, a.WriteTimeout
+	if idle <= 0 {
+		idle = DefaultIdleTimeout
+	}
+	if write <= 0 {
+		write = DefaultWriteTimeout
+	}
 	for {
+		c.SetReadDeadline(time.Now().Add(idle))
 		body, err := readFrame(c)
 		if err != nil {
 			return
@@ -247,6 +313,7 @@ func (a *Agent) serve(c net.Conn) {
 		default:
 			return
 		}
+		c.SetWriteDeadline(time.Now().Add(write))
 		if err := writeReply(c, status, resp); err != nil {
 			return
 		}
@@ -319,30 +386,101 @@ func (a *Agent) doCall(body []byte) (byte, []byte) {
 
 // Conn is an initiator endpoint ("queue pair") to one remote agent.
 // It is safe for concurrent use; operations are serialized.
+//
+// Every operation runs under a deadline, and a transport failure
+// (reset, timeout, mid-frame EOF) triggers redial-and-replay with
+// exponential backoff and jitter, up to Retry.Attempts tries — so a
+// back-end restarting on the same address is survived transparently,
+// and a dead one costs a bounded, predictable delay.
 type Conn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu     sync.Mutex
+	c      net.Conn
+	addr   string
+	opTmo  time.Duration
+	rng    *rand.Rand
+	closed bool
+
+	// Retry is the redial/replay policy; the zero value takes the
+	// documented defaults. Set it before issuing operations.
+	Retry RetryPolicy
+
+	// Redials counts successful reconnects (for tests/metrics).
+	Redials uint64
 }
 
-// Dial connects to a remote agent.
+// Dial connects to a remote agent with DefaultOpTimeout per operation.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultOpTimeout)
+}
+
+// DialTimeout connects with an explicit per-operation deadline.
+// opTimeout <= 0 takes DefaultOpTimeout: there is deliberately no way
+// to get a deadline-less connection.
+func DialTimeout(addr string, opTimeout time.Duration) (*Conn, error) {
+	if opTimeout <= 0 {
+		opTimeout = DefaultOpTimeout
+	}
+	c, err := net.DialTimeout("tcp", addr, opTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	return &Conn{
+		c:     c,
+		addr:  addr,
+		opTmo: opTimeout,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
 }
 
-// Close tears the connection down.
+// Close tears the connection down; subsequent operations fail without
+// retrying.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	return c.c.Close()
 }
 
 func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	pol := c.Retry.withDefaults()
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if c.closed {
+			return 0, nil, ErrClosed
+		}
+		if attempt > 0 {
+			// Exponential backoff with ±Jitter/2 randomization.
+			d := backoff
+			if pol.Jitter > 0 {
+				f := 1 + pol.Jitter*(c.rng.Float64()-0.5)
+				d = time.Duration(float64(d) * f)
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		status, body, err := c.attempt(frame)
+		if err == nil {
+			return status, body, nil
+		}
+		lastErr = err
+		c.c.Close() // poison the stream; next attempt redials
+	}
+	return 0, nil, lastErr
+}
+
+// attempt performs one write+read under the operation deadline.
+func (c *Conn) attempt(frame []byte) (byte, []byte, error) {
+	c.c.SetDeadline(time.Now().Add(c.opTmo))
 	if err := writeFrame(c.c, frame); err != nil {
 		return 0, nil, err
 	}
@@ -354,6 +492,21 @@ func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
 		return 0, nil, ErrClosed
 	}
 	return body[0], body[1:], nil
+}
+
+// redial replaces the underlying stream. Caller holds c.mu.
+func (c *Conn) redial() error {
+	if c.closed {
+		return ErrClosed
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opTmo)
+	if err != nil {
+		return err
+	}
+	c.c.Close()
+	c.c = nc
+	c.Redials++
+	return nil
 }
 
 // RDMARead fetches up to length bytes of the remote region. The remote
@@ -424,13 +577,28 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("tcpverbs: frame too large (%d)", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	// Grow in bounded chunks as bytes actually arrive: a hostile or
+	// corrupted length field costs memory only as fast as the peer
+	// delivers payload, and truncation fails at the current chunk.
+	cap0 := n
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	body := make([]byte, 0, cap0)
+	for len(body) < n {
+		chunk := n - len(body)
+		if chunk > readChunk {
+			chunk = readChunk
+		}
+		off := len(body)
+		body = append(body, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return body, nil
 }

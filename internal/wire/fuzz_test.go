@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLoadRecord feeds arbitrary bytes to Decode and, whenever a
+// record decodes, checks the encode/decode round trip is lossless and
+// the derived accessors stay total. Decode must never panic or accept
+// a record whose checksum does not match.
+func FuzzLoadRecord(f *testing.F) {
+	// Seed with a valid record, a truncation, a magic flip, and junk.
+	valid := LoadRecord{
+		NumCPU: 2, NodeID: 3, Seq: 9, KTimeNS: 1e9,
+		NrRunning: 4, NrTasks: 100,
+		MemUsedKB: 1 << 18, MemTotalKB: 1 << 20,
+		NetRxBytes: 1 << 30, NetTxBytes: 1 << 29,
+		CtxSwitch: 12345, Conns: 77,
+	}
+	valid.UtilPerMille[0] = 900
+	valid.IrqPendingHard[1] = 3
+	enc := valid.Encode()
+	f.Add(enc)
+	f.Add(enc[:RecordSize-1])
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	torn := append([]byte(nil), enc...)
+	torn[RecordSize/2] ^= 0x55
+	f.Add(torn)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, RecordSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			// Errors must be one of the documented decode failures.
+			switch err {
+			case ErrShort, ErrMagic, ErrVersion, ErrChecksum, ErrReserved:
+			default:
+				t.Fatalf("undocumented decode error: %v", err)
+			}
+			return
+		}
+		// Accessors must be total on anything Decode accepted.
+		_ = rec.UtilMean()
+		_ = rec.PendingIRQTotal()
+		_ = rec.MemFraction()
+		_ = rec.String()
+
+		// Round trip: re-encoding an accepted record reproduces the
+		// first RecordSize bytes exactly (trailing input is ignored).
+		re := rec.Encode()
+		if !bytes.Equal(re, data[:RecordSize]) {
+			t.Fatalf("round trip mismatch:\n in=%x\nout=%x", data[:RecordSize], re)
+		}
+		re2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re2 != rec {
+			t.Fatalf("re-decode mismatch: %+v != %+v", re2, rec)
+		}
+	})
+}
+
+// FuzzLoadRecordFields drives Encode from arbitrary field values: any
+// record must encode to exactly RecordSize bytes and survive the round
+// trip bit-for-bit.
+func FuzzLoadRecordFields(f *testing.F) {
+	f.Add(uint8(2), uint16(3), uint32(9), int64(1e9), uint16(4), uint16(100),
+		uint64(12345), uint16(77))
+	f.Fuzz(func(t *testing.T, ncpu uint8, node uint16, seq uint32, ktime int64,
+		run, tasks uint16, ctx uint64, conns uint16) {
+		r := LoadRecord{
+			NumCPU: ncpu, NodeID: node, Seq: seq, KTimeNS: ktime,
+			NrRunning: run, NrTasks: tasks, CtxSwitch: ctx, Conns: conns,
+		}
+		for i := 0; i < MaxCPU; i++ {
+			r.UtilPerMille[i] = uint16(seq) + uint16(i)
+		}
+		enc := r.Encode()
+		if len(enc) != RecordSize {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), RecordSize)
+		}
+		if got := binary.LittleEndian.Uint32(enc[0:]); got != Magic {
+			t.Fatalf("magic = %#x", got)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if back != r {
+			t.Fatalf("round trip mismatch: %+v != %+v", back, r)
+		}
+	})
+}

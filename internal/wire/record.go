@@ -35,6 +35,7 @@ var (
 	ErrMagic    = errors.New("wire: bad magic")
 	ErrVersion  = errors.New("wire: unsupported record version")
 	ErrChecksum = errors.New("wire: checksum mismatch (torn or corrupt record)")
+	ErrReserved = errors.New("wire: nonzero reserved field")
 )
 
 // LoadRecord is one node's load report. All fields a WebSphere-style
@@ -156,6 +157,11 @@ func Decode(b []byte) (LoadRecord, error) {
 	}
 	if le.Uint32(b[116:]) != crc32.ChecksumIEEE(b[:116]) {
 		return r, ErrChecksum
+	}
+	if le.Uint16(b[114:]) != 0 {
+		// Reserved padding must be zero: keeps decode(encode(r))
+		// exactly invertible and the reserved space usable later.
+		return r, ErrReserved
 	}
 	r.NumCPU = b[5]
 	r.NodeID = le.Uint16(b[6:])
