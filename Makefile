@@ -1,13 +1,14 @@
 # Repo-local CI. `make ci` is the gate a change must pass before it
 # lands: vet, build, the full suite under the race detector with
-# shuffled test order, and a short smoke run of every fuzzer.
+# shuffled test order, a short smoke run of every fuzzer, and a
+# chaos-harness smoke across a few random fault plans.
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz bench clean
+.PHONY: ci vet build test race fuzz chaos-smoke bench clean
 
-ci: vet build race fuzz
+ci: vet build race fuzz chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +32,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLoadRecordFields -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzServeFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
+	$(GO) test -run=^$$ -fuzz=FuzzProcfsParsers -fuzztime=$(FUZZTIME) ./internal/procfs
+
+# Randomized failover chaos: three seeded fault plans, invariants
+# asserted, non-zero exit on any violation.
+chaos-smoke:
+	$(GO) run ./cmd/rmbench -exp chaos -quick -seeds 3
 
 # One-command reproduction pass over the paper's tables and figures.
 bench:

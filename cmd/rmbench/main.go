@@ -25,6 +25,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids")
 		quick  = flag.Bool("quick", false, "short runs (noisier tails)")
 		seed   = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		seeds  = flag.Int("seeds", 0, "random fault plans for -exp chaos (0 = default of 5)")
 		seq    = flag.Bool("seq", false, "run sweep points sequentially")
 		format = flag.String("format", "table", "output format: table, csv, plot")
 	)
@@ -45,7 +46,8 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Sequential: *seq}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds}
+	failed := false
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(id, opts)
@@ -62,5 +64,10 @@ func main() {
 			res.Render(os.Stdout)
 		}
 		fmt.Printf("  (%.1fs wall)\n\n", time.Since(start).Seconds())
+		failed = failed || res.Failed
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "rmbench: invariant violations (see notes above)")
+		os.Exit(1)
 	}
 }

@@ -45,8 +45,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `rmmon — live fine-grained resource monitoring
 
 subcommands:
-  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>]
-  probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n]
+  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>]
+  probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
   once   -target <addr>
 
 schemes: socket-async, socket-sync, rdma-async, rdma-sync, e-rdma-sync`)
@@ -67,6 +67,7 @@ func runAgent(args []string) {
 	listen := fs.String("listen", ":9377", "listen address")
 	node := fs.Int("node", 0, "node id reported in records")
 	interval := fs.Duration("interval", 50*time.Millisecond, "async refresh period")
+	mrFlap := fs.Duration("mr-flap", 0, "chaos: invalidate the RDMA region every interval, re-pinning after 1/4 of it")
 	fs.Parse(args)
 
 	a, err := livemon.StartAgent(livemon.Config{
@@ -81,6 +82,13 @@ func runAgent(args []string) {
 	}
 	fmt.Printf("rmmon agent: scheme=%s listening on %s (node %d)\n",
 		a.Scheme(), a.Addr(), *node)
+	if *mrFlap > 0 {
+		go func() {
+			for range time.Tick(*mrFlap) {
+				a.InvalidateMR(*mrFlap / 4)
+			}
+		}()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -92,6 +100,7 @@ func runProbe(args []string) {
 	targets := fs.String("targets", "", "comma-separated agent addresses")
 	interval := fs.Duration("interval", 50*time.Millisecond, "poll interval")
 	count := fs.Int("count", 0, "number of polling cycles (0 = forever)")
+	failover := fs.Bool("failover", false, "arm the RDMA->socket transport breaker (RDMA schemes)")
 	fs.Parse(args)
 	if *targets == "" {
 		fmt.Fprintln(os.Stderr, "rmmon probe: -targets required")
@@ -106,18 +115,25 @@ func runProbe(args []string) {
 			os.Exit(1)
 		}
 		defer p.Close()
+		if *failover {
+			p.SetFailover(core.FailoverConfig{})
+		}
 		probes = append(probes, p)
 	}
 	w := core.DefaultWeights()
 	for cycle := 0; *count == 0 || cycle < *count; cycle++ {
 		start := time.Now()
 		for i, p := range probes {
-			rec, err := p.Fetch()
+			rec, tr, err := p.FetchVia()
 			if err != nil {
 				fmt.Printf("%-22s ERROR %v\n", addrs[i], err)
 				continue
 			}
-			printRecord(addrs[i], rec, w.Index(rec), time.Since(start))
+			via := ""
+			if p.Failover() != nil {
+				via = " via=" + tr.String()
+			}
+			printRecord(addrs[i], rec, w.Index(rec), time.Since(start), via)
 		}
 		time.Sleep(*interval)
 	}
@@ -139,11 +155,11 @@ func runOnce(args []string) {
 		fmt.Fprintln(os.Stderr, "rmmon once:", err)
 		os.Exit(1)
 	}
-	printRecord(*target, rec, core.DefaultWeights().Index(rec), time.Since(start))
+	printRecord(*target, rec, core.DefaultWeights().Index(rec), time.Since(start), "")
 }
 
-func printRecord(addr string, r wire.LoadRecord, index float64, rtt time.Duration) {
-	fmt.Printf("%-22s node=%d seq=%-6d util=%3d%% run=%-3d tasks=%-4d mem=%3.0f%% conns=%-3d index=%.3f rtt=%s\n",
+func printRecord(addr string, r wire.LoadRecord, index float64, rtt time.Duration, extra string) {
+	fmt.Printf("%-22s node=%d seq=%-6d util=%3d%% run=%-3d tasks=%-4d mem=%3.0f%% conns=%-3d index=%.3f rtt=%s%s\n",
 		addr, r.NodeID, r.Seq, r.UtilMean()/10, r.NrRunning, r.NrTasks,
-		r.MemFraction()*100, r.Conns, index, rtt.Round(time.Microsecond))
+		r.MemFraction()*100, r.Conns, index, rtt.Round(time.Microsecond), extra)
 }

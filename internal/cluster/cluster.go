@@ -72,6 +72,13 @@ type Config struct {
 	// invalidated memory region and re-register it (fault plans with
 	// MRInvalidations). Zero takes 100ms.
 	MRRepin sim.Time
+
+	// Failover, if non-nil, arms a per-backend transport breaker on the
+	// RDMA schemes (see core.Failover): agents additionally serve the
+	// socket standby port, and probes fail over to it when the RDMA
+	// path breaks, failing back after it recovers. Ignored under the
+	// socket schemes, which have nothing to fail over from.
+	Failover *core.FailoverConfig
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -112,6 +119,11 @@ func New(cfg Config) *Cluster {
 	if cfg.Policy == "" {
 		cfg.Policy = PolicyWebSphere
 	}
+	if cfg.Failover != nil && cfg.ProbeTimeout <= 0 {
+		// Socket fallback probing needs a deadline — without one a probe
+		// against a crashed report thread would stall the cycle forever.
+		cfg.ProbeTimeout = cfg.Poll
+	}
 	c := &Cluster{Cfg: cfg, extCursor: simnet.ExternalBase}
 	c.Eng = sim.NewEngine(cfg.Seed)
 	c.Rand = rand.New(rand.NewSource(cfg.Seed + 1))
@@ -130,14 +142,15 @@ func New(cfg Config) *Cluster {
 			c.Servers = append(c.Servers, srv)
 		}
 		if !cfg.NoMonitor {
-			c.Agents = append(c.Agents, core.StartAgent(n, nic, core.AgentConfig{
-				Scheme: cfg.Scheme, Interval: cfg.Poll,
-			}))
+			c.Agents = append(c.Agents, core.StartAgent(n, nic, c.agentConfig()))
 		}
 	}
 	if !cfg.NoMonitor {
 		c.Monitor = core.StartMonitor(c.Front, c.FNIC, c.Agents, cfg.Poll)
 		c.Monitor.SetProbeTimeout(cfg.ProbeTimeout)
+		if cfg.Failover != nil && cfg.Scheme.UsesRDMA() {
+			c.Monitor.ArmFailover(*cfg.Failover)
+		}
 	}
 	c.Policy = c.buildPolicy()
 	if !cfg.NoServers {
@@ -161,6 +174,17 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// agentConfig is the per-backend agent configuration, shared by New
+// and the fault injector's restart path so a rebooted agent comes back
+// with the same standby-channel arrangement it died with.
+func (c *Cluster) agentConfig() core.AgentConfig {
+	return core.AgentConfig{
+		Scheme:        c.Cfg.Scheme,
+		Interval:      c.Cfg.Poll,
+		StandbySocket: c.Cfg.Failover != nil && c.Cfg.Scheme.UsesRDMA(),
+	}
+}
+
 func (c *Cluster) buildPolicy() loadbalance.Policy {
 	ids := c.BackendIDs()
 	switch c.Cfg.Policy {
@@ -170,7 +194,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 		return &loadbalance.Random{Backends: ids, Rng: c.Rand}
 	case PolicyLeastLoad, PolicyWebSphere:
 		var source loadbalance.LoadSource
-		var exclude func(int) bool
+		var exclude, degraded func(int) bool
 		if c.Monitor != nil {
 			m := c.Monitor
 			source = func(b int) (wire.LoadRecord, bool) {
@@ -180,6 +204,11 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 			// Quarantined back-ends (3 consecutive failed probes) get
 			// zero traffic until they pass probation.
 			exclude = func(b int) bool { return !m.Health(b).Eligible() }
+			if c.Cfg.Failover != nil {
+				// Back-ends monitored over the socket standby stay in the
+				// dispatch set but carry a small index handicap.
+				degraded = func(b int) bool { return m.Health(b) == core.Degraded }
+			}
 		} else {
 			source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }
 		}
@@ -190,6 +219,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 				Source:   source,
 				Rng:      c.Rand,
 				Exclude:  exclude,
+				Degraded: degraded,
 				Picks:    make(map[int]uint64),
 			}
 		}
@@ -201,6 +231,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 			Gamma:      c.Cfg.Gamma,
 			StaleAfter: 250 * sim.Millisecond,
 			Exclude:    exclude,
+			Degraded:   degraded,
 			Picks:      make(map[int]uint64),
 		}
 		if c.Monitor != nil {
@@ -335,9 +366,7 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 			})
 		}
 		if !c.Cfg.NoMonitor {
-			c.Agents[i] = core.StartAgent(n, nic, core.AgentConfig{
-				Scheme: c.Cfg.Scheme, Interval: c.Cfg.Poll,
-			})
+			c.Agents[i] = core.StartAgent(n, nic, c.agentConfig())
 			c.Monitor.ReplaceAgent(node, c.Agents[i])
 		}
 	}

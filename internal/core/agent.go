@@ -67,6 +67,15 @@ type AgentConfig struct {
 	Interval sim.Time // refresh period T of the asynchronous calc loop
 	Port     string   // socket service port
 	CopyCost sim.Time // user-space cost to copy/encode a record
+
+	// StandbySocket additionally serves the socket probe port under the
+	// RDMA schemes, giving the front-end a fallback channel when the
+	// RDMA path breaks (see core.Failover). It costs the back-end one
+	// report thread — knowingly re-accepting the Table 1 trade-off the
+	// RDMA schemes exist to avoid, but only for as long as a breaker is
+	// actually probing through it. Ignored by the socket schemes, which
+	// serve that port anyway.
+	StandbySocket bool
 }
 
 func (c *AgentConfig) sanitize() {
@@ -121,6 +130,12 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 		a.startCalcLoop()
 		a.mrSrc = simnet.StaticSource(a.shared)
 		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
+		if cfg.StandbySocket {
+			// Standby channel: answers from the same shared location the
+			// calc loop refreshes, preserving the scheme's asynchronous
+			// staleness semantics over either transport.
+			a.startReportThread(true)
+		}
 	case RDMASync, ERDMASync:
 		// Register the kernel statistics directly: the source closure
 		// runs at the remote NIC's DMA instant, with zero host-CPU
@@ -132,6 +147,13 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 			return rec.AppendTo(a.dmaBuf)
 		}
 		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
+		if cfg.StandbySocket {
+			// Standby channel: a synchronous report thread reading /proc
+			// per request, like Socket-Sync. It shares the agent's
+			// sequence counter with the DMA source, so sequence numbers
+			// stay monotonic across transports.
+			a.startReportThread(false)
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown scheme %v", cfg.Scheme))
 	}

@@ -10,6 +10,13 @@ package core
 //	Healthy --fail--> Suspect --fail*N--> Quarantined
 //	Quarantined --ok--> Probation --ok*M--> Healthy
 //	Suspect --ok--> Healthy         Probation --fail--> Quarantined
+//
+// Degraded is a sub-state of "alive": the back-end answers probes over
+// its standby (socket) transport while the preferred RDMA path is
+// down. It follows the same transitions as Healthy — fallback
+// successes land in Degraded instead of Healthy, a primary-transport
+// success promotes Degraded to Healthy, and failures demote it through
+// Suspect exactly like a healthy back-end.
 type Health int
 
 const (
@@ -24,6 +31,11 @@ const (
 	// Probation: a quarantined back-end answered a probe; it must
 	// answer several in a row before traffic returns.
 	Probation
+	// Degraded: alive and answering probes, but only over the fallback
+	// transport (the RDMA path is broken and the breaker is tripped).
+	// Eligible for dispatch — stale-but-alive monitoring beats starving
+	// a working server of traffic.
+	Degraded
 )
 
 func (h Health) String() string {
@@ -36,13 +48,16 @@ func (h Health) String() string {
 		return "quarantined"
 	case Probation:
 		return "probation"
+	case Degraded:
+		return "degraded"
 	}
 	return "?"
 }
 
 // Eligible reports whether a back-end in this state should receive
-// dispatched traffic.
-func (h Health) Eligible() bool { return h == Healthy || h == Suspect }
+// dispatched traffic. Degraded is eligible: the server works, only the
+// fast monitoring path is down.
+func (h Health) Eligible() bool { return h == Healthy || h == Suspect || h == Degraded }
 
 // HealthTracker runs the health state machine for one back-end.
 // The zero value is usable (it gets default thresholds on first use).
@@ -82,39 +97,50 @@ func (ht *HealthTracker) Fail() Health {
 	ht.okRun = 0
 	ht.failRun++
 	switch ht.state {
-	case Healthy:
+	case Healthy, Suspect, Degraded:
 		ht.state = Suspect
 		if ht.failRun >= qa {
 			ht.state = Quarantined
 		}
-	case Suspect:
-		if ht.failRun >= qa {
-			ht.state = Quarantined
-		}
 	case Probation:
-		// One bad probe during probation sends it straight back.
+		// One bad probe during probation sends it straight back. Pin
+		// the failure run to the quarantine threshold so the counter
+		// matches the state it just entered — a stale low count here
+		// would make the next demotion cheaper than the first one.
 		ht.state = Quarantined
+		ht.failRun = qa
 	}
 	return ht.state
 }
 
-// OK records a successful probe and returns the new state.
-func (ht *HealthTracker) OK() Health {
+// OK records a successful probe over the primary transport and returns
+// the new state.
+func (ht *HealthTracker) OK() Health { return ht.ok(Healthy) }
+
+// DegradedOK records a successful probe over the fallback transport:
+// the back-end is alive, but only reachable the slow way. It follows
+// the same probation discipline as OK, landing in Degraded instead of
+// Healthy.
+func (ht *HealthTracker) DegradedOK() Health { return ht.ok(Degraded) }
+
+// ok advances the machine on a success whose terminal state is target
+// (Healthy for the primary transport, Degraded for the fallback).
+func (ht *HealthTracker) ok(target Health) Health {
 	_, po := ht.thresholds()
 	ht.Successes++
 	ht.failRun = 0
 	ht.okRun++
 	switch ht.state {
-	case Suspect:
-		ht.state = Healthy
+	case Healthy, Suspect, Degraded:
+		ht.state = target
 	case Quarantined:
 		ht.state = Probation
 		if ht.okRun >= po {
-			ht.state = Healthy
+			ht.state = target
 		}
 	case Probation:
 		if ht.okRun >= po {
-			ht.state = Healthy
+			ht.state = target
 		}
 	}
 	return ht.state

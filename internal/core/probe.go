@@ -43,6 +43,23 @@ type Prober struct {
 	// Health tracks this back-end's probe-driven state machine.
 	Health HealthTracker
 
+	// Failover, if non-nil, arms the transport breaker for an RDMA
+	// scheme: consecutive RDMA failures trip probing onto the agent's
+	// standby socket channel, a low-rate background re-arm probe
+	// retests the RDMA path, and only consecutive re-arm successes
+	// fail back. Requires the agent to serve the socket port (see
+	// AgentConfig.StandbySocket) and a non-zero Timeout, or a fallback
+	// probe of a dead back-end would block the cycle forever.
+	Failover *Failover
+
+	// LastTransport is the transport that served the most recent
+	// completed probe (valid inside OnRecord and after ProbeOnce).
+	LastTransport Transport
+	// Fallbacks counts probes served via the standby socket channel.
+	Fallbacks uint64
+	// ReArms counts background re-arm RDMA probes issued while tripped.
+	ReArms uint64
+
 	// Latency records round-trip probe latency in microseconds.
 	Latency metrics.Sample
 	// Errors counts failed probes (bad key, torn record, timeout ...).
@@ -115,14 +132,22 @@ func (p *Prober) Stop() {
 // must run on the front-end node) and delivers it to then. The probe
 // path depends on the scheme: a socket request/response round trip
 // involving the back-end CPU, or a one-sided RDMA read that does not.
+// With an armed Failover, a tripped breaker reroutes RDMA probes onto
+// the agent's standby socket channel and schedules background re-arm
+// reads of the RDMA path.
 func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 	start := p.front.Eng.Now()
-	finish := func(rec wire.LoadRecord, err error) {
+	finish := func(rec wire.LoadRecord, err error, tr Transport) {
+		p.LastTransport = tr
 		if err == nil {
 			p.last = rec
 			p.lastAt = p.front.Eng.Now()
 			p.has = true
-			p.Health.OK()
+			if tr == TransportSocket && p.Scheme.UsesRDMA() {
+				p.Health.DegradedOK()
+			} else {
+				p.Health.OK()
+			}
 			if p.OnRecord != nil {
 				p.OnRecord(rec, p.lastAt)
 			}
@@ -133,22 +158,87 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 		p.Latency.Add(float64((p.front.Eng.Now() - start) / sim.Microsecond))
 		then(rec, err)
 	}
-	if p.Scheme.UsesRDMA() {
-		p.fnic.RDMARead(tk, p.Backend, p.agent.RKey(), wire.RecordSize, func(data []byte, err error) {
-			if err != nil {
-				if err == simnet.ErrTimeout {
-					p.Timeouts++
-				}
-				finish(wire.LoadRecord{}, err)
+	if !p.Scheme.UsesRDMA() {
+		p.probeSocket(tk, func(rec wire.LoadRecord, err error) {
+			finish(rec, err, TransportSocket)
+		})
+		return
+	}
+	fo := p.Failover
+	if fo == nil {
+		p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
+			finish(rec, err, TransportRDMA)
+		})
+		return
+	}
+	if !fo.Tripped() {
+		p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
+			if err == nil {
+				fo.PrimaryOK()
+				finish(rec, nil, TransportRDMA)
 				return
 			}
-			tk.Compute(p.decode, func() {
-				rec, derr := wire.Decode(data)
-				finish(rec, derr)
+			fo.PrimaryFail()
+			// Degrade to the standby for this cycle too: if only the
+			// RDMA path is broken (stale rkey, NIC trouble) the record
+			// is still one socket round trip away, and the staleness
+			// window stays ~one sweep instead of TripAfter sweeps. A
+			// genuinely dead back-end fails both paths and the health
+			// machine sees a plain failure.
+			p.Fallbacks++
+			p.probeSocket(tk, func(rec wire.LoadRecord, serr error) {
+				if serr == nil {
+					finish(rec, nil, TransportSocket)
+				} else {
+					finish(wire.LoadRecord{}, err, TransportRDMA)
+				}
 			})
 		})
 		return
 	}
+	// Breaker tripped: the standby socket channel carries the probe, so
+	// the back-end keeps being monitored while its RDMA path is broken.
+	p.Fallbacks++
+	p.probeSocket(tk, func(rec wire.LoadRecord, err error) {
+		if !fo.ShouldReArm() {
+			finish(rec, err, TransportSocket)
+			return
+		}
+		// Background re-arm: test the RDMA path without trusting it for
+		// data until it has proven itself FailBackAfter times in a row.
+		// The re-arm outcome never pollutes this probe's result.
+		p.ReArms++
+		p.probeRDMA(tk, func(_ wire.LoadRecord, rerr error) {
+			if rerr == nil {
+				fo.ReArmOK()
+			} else {
+				fo.ReArmFail()
+			}
+			finish(rec, err, TransportSocket)
+		})
+	})
+}
+
+// probeRDMA issues the one-sided read path and decodes the record.
+func (p *Prober) probeRDMA(tk *simos.Task, then func(wire.LoadRecord, error)) {
+	p.fnic.RDMARead(tk, p.Backend, p.agent.RKey(), wire.RecordSize, func(data []byte, err error) {
+		if err != nil {
+			if err == simnet.ErrTimeout {
+				p.Timeouts++
+			}
+			then(wire.LoadRecord{}, err)
+			return
+		}
+		tk.Compute(p.decode, func() {
+			rec, derr := wire.Decode(data)
+			then(rec, derr)
+		})
+	})
+}
+
+// probeSocket issues the request/response path against the agent's
+// report thread and decodes the reply.
+func (p *Prober) probeSocket(tk *simos.Task, then func(wire.LoadRecord, error)) {
 	rp := p.front.Port(p.replyPort)
 	// Flush replies that arrived after a previous probe's deadline, so
 	// a late answer is never matched against this probe's request.
@@ -157,17 +247,17 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 		tk.RecvTimeout(rp, p.Timeout, func(m simos.Message, ok bool) {
 			if !ok {
 				p.Timeouts++
-				finish(wire.LoadRecord{}, ErrProbeTimeout)
+				then(wire.LoadRecord{}, ErrProbeTimeout)
 				return
 			}
 			tk.Compute(p.decode, func() {
 				data, ok := m.Payload.([]byte)
 				if !ok {
-					finish(wire.LoadRecord{}, fmt.Errorf("core: unexpected probe reply %T", m.Payload))
+					then(wire.LoadRecord{}, fmt.Errorf("core: unexpected probe reply %T", m.Payload))
 					return
 				}
 				rec, derr := wire.Decode(data)
-				finish(rec, derr)
+				then(rec, derr)
 			})
 		})
 	})
@@ -233,6 +323,30 @@ func (m *Monitor) SetProbeTimeout(d sim.Time) {
 	for _, p := range m.Probers {
 		p.Timeout = d
 	}
+}
+
+// ArmFailover equips every prober with an independent transport
+// breaker (RDMA schemes only; a no-op for socket schemes, which have
+// no faster path to fall back from). The monitored agents must serve
+// the standby socket port (AgentConfig.StandbySocket) and probes must
+// carry a timeout.
+func (m *Monitor) ArmFailover(cfg FailoverConfig) {
+	if !m.Scheme.UsesRDMA() {
+		return
+	}
+	for _, p := range m.Probers {
+		p.Failover = &Failover{Cfg: cfg}
+	}
+}
+
+// Failover returns a back-end's transport breaker (nil if the monitor
+// is unarmed or the back-end unknown).
+func (m *Monitor) Failover(backend int) *Failover {
+	p := m.Probers[backend]
+	if p == nil {
+		return nil
+	}
+	return p.Failover
 }
 
 // Health returns the probe-driven health state of a back-end; unknown

@@ -27,6 +27,9 @@ type Options struct {
 	// point is an independent simulation engine, so parallel is safe
 	// and is the default).
 	Sequential bool
+	// Seeds is how many random fault plans the chaos experiment sweeps
+	// (default 5; other experiments ignore it).
+	Seeds int
 }
 
 func (o Options) seed() int64 {
@@ -43,6 +46,10 @@ type Result struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Failed marks a result that violated its own acceptance criteria
+	// (the chaos harness's invariants); rmbench exits non-zero on it.
+	Failed bool
 }
 
 // Render writes the result as an aligned text table.

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"rdmamon/internal/sim"
+)
+
+// TestRandomPlanDeterministic: same (seed, cfg) must yield a deeply
+// identical plan — the chaos harness's bit-identical replay property
+// starts at plan generation — and different seeds must actually explore
+// different plans.
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Backends: 8, Horizon: 20 * sim.Second}
+	a := RandomPlan(42, cfg)
+	b := RandomPlan(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if reflect.DeepEqual(a, RandomPlan(43, cfg)) {
+		t.Fatal("seeds 42 and 43 produced identical plans")
+	}
+}
+
+// TestRandomPlanBounds fuzzes the generator across many seeds and
+// checks every structural promise RandomPlan documents: counts, window
+// placement inside the settle deadline, distinct crash victims, MR
+// invalidations disjoint from crashed nodes, forward-only duplicate-free
+// link faults.
+func TestRandomPlanBounds(t *testing.T) {
+	cfg := ChaosConfig{Backends: 8, Horizon: 20 * sim.Second}
+	h := cfg.Horizon
+	for seed := int64(0); seed < 200; seed++ {
+		p := RandomPlan(seed, cfg)
+		if len(p.Crashes) != 2 || len(p.Links) != 2 || len(p.Partitions) != 1 || len(p.MRInvalidations) != 2 {
+			t.Fatalf("seed %d: plan counts %d/%d/%d/%d, want defaults 2/2/1/2",
+				seed, len(p.Crashes), len(p.Links), len(p.Partitions), len(p.MRInvalidations))
+		}
+
+		crashed := make(map[int]bool)
+		for _, cr := range p.Crashes {
+			if cr.Node < 1 || cr.Node > cfg.Backends {
+				t.Fatalf("seed %d: crash node %d out of range", seed, cr.Node)
+			}
+			if crashed[cr.Node] {
+				t.Fatalf("seed %d: node %d crashes twice", seed, cr.Node)
+			}
+			crashed[cr.Node] = true
+			if cr.RestartAt <= cr.At {
+				t.Fatalf("seed %d: restart %v not after crash %v", seed, cr.RestartAt, cr.At)
+			}
+			if cr.RestartAt > sim.Time(0.65*float64(h)) {
+				t.Fatalf("seed %d: restart %v past the settle deadline", seed, cr.RestartAt)
+			}
+		}
+
+		for _, lf := range p.Links {
+			if lf.From != 0 {
+				t.Fatalf("seed %d: link fault from node %d, want front-end only", seed, lf.From)
+			}
+			if lf.To < 1 || lf.To > cfg.Backends {
+				t.Fatalf("seed %d: link fault to node %d out of range", seed, lf.To)
+			}
+			if lf.Dup != 0 {
+				t.Fatalf("seed %d: link fault duplicates (%v) — reordering would fake seq regressions", seed, lf.Dup)
+			}
+			if lf.End <= lf.Start || lf.End > sim.Time(0.75*float64(h)) {
+				t.Fatalf("seed %d: link window [%v, %v] malformed or past 0.75H", seed, lf.Start, lf.End)
+			}
+			if lf.Drop < 0.20 || lf.Drop > 0.50 {
+				t.Fatalf("seed %d: drop rate %v outside [0.20, 0.50]", seed, lf.Drop)
+			}
+			if lf.DelayMax < lf.DelayMin {
+				t.Fatalf("seed %d: delay range [%v, %v] inverted", seed, lf.DelayMin, lf.DelayMax)
+			}
+		}
+
+		for _, pa := range p.Partitions {
+			if len(pa.A) != 1 || pa.A[0] != 0 {
+				t.Fatalf("seed %d: partition side A = %v, want front-end only", seed, pa.A)
+			}
+			if len(pa.B) == 0 || len(pa.B) > max(1, cfg.Backends/4) {
+				t.Fatalf("seed %d: partition side B size %d", seed, len(pa.B))
+			}
+			if pa.End <= pa.Start || pa.End > sim.Time(0.70*float64(h)) {
+				t.Fatalf("seed %d: partition window [%v, %v] malformed or past 0.70H", seed, pa.Start, pa.End)
+			}
+		}
+
+		for _, mi := range p.MRInvalidations {
+			if mi.Node < 1 || mi.Node > cfg.Backends {
+				t.Fatalf("seed %d: MR invalidation on node %d out of range", seed, mi.Node)
+			}
+			if crashed[mi.Node] {
+				t.Fatalf("seed %d: MR invalidation on crashing node %d", seed, mi.Node)
+			}
+			if mi.At > sim.Time(0.50*float64(h)) {
+				t.Fatalf("seed %d: MR invalidation at %v past 0.50H", seed, mi.At)
+			}
+		}
+	}
+}
+
+// TestRandomPlanCrashesCapped: asking for more crashes than back-ends
+// must clamp, not panic or repeat victims.
+func TestRandomPlanCrashesCapped(t *testing.T) {
+	p := RandomPlan(7, ChaosConfig{Backends: 3, Horizon: 10 * sim.Second, Crashes: 10})
+	if len(p.Crashes) != 3 {
+		t.Fatalf("crashes = %d, want capped at 3 back-ends", len(p.Crashes))
+	}
+	seen := make(map[int]bool)
+	for _, cr := range p.Crashes {
+		if seen[cr.Node] {
+			t.Fatalf("node %d crashes twice", cr.Node)
+		}
+		seen[cr.Node] = true
+	}
+}

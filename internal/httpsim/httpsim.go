@@ -155,6 +155,11 @@ type Dispatcher struct {
 	// reply instead of service).
 	Admission func() bool
 
+	// OnRoute, if set, observes every routing decision just after the
+	// policy picked a back-end (the chaos invariant checker audits
+	// dispatch-to-crashed-node violations here).
+	OnRoute func(backend int)
+
 	Routed  uint64
 	ByNode  map[int]uint64
 	stopped bool
@@ -208,6 +213,9 @@ func StartDispatcherOn(node *simos.Node, nic *simnet.NIC, policy loadbalance.Pol
 					return
 				}
 				b := d.policy.Pick()
+				if d.OnRoute != nil {
+					d.OnRoute(b)
+				}
 				d.Routed++
 				d.ByNode[b]++
 				d.noteForward(b)

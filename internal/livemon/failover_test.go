@@ -1,0 +1,113 @@
+package livemon
+
+import (
+	"testing"
+	"time"
+
+	"rdmamon/internal/core"
+)
+
+// TestFailoverMRInvalidationLive drives the live transport breaker end
+// to end over real sockets: an RDMA-Sync probe keeps fetching through
+// an MR invalidation — degrading to the agent's standby channel in the
+// same fetch — trips onto socket probing, and fails back to RDMA after
+// the agent re-pins its region.
+func TestFailoverMRInvalidationLive(t *testing.T) {
+	a, pr := startPair(t, core.RDMASync, synthetic(5))
+	pr.SetFailover(core.FailoverConfig{})
+	pr.SeedJitter(1)
+
+	rec, tr, err := pr.FetchVia()
+	if err != nil || tr != core.TransportRDMA || rec.NodeID != 7 {
+		t.Fatalf("healthy fetch: rec=%+v tr=%v err=%v", rec, tr, err)
+	}
+
+	// Invalidate; the agent re-pins 300ms from now.
+	a.InvalidateMR(300 * time.Millisecond)
+
+	// The very next fetch must degrade to the standby — the RDMA read
+	// fails (stale key, and the refreshed handshake has no region to
+	// offer yet), the breaker counts the failure, and the record still
+	// arrives over the socket channel in the same call.
+	rec, tr, err = pr.FetchVia()
+	if err != nil {
+		t.Fatalf("fetch during outage: %v — fallback must mask RDMA-only breakage", err)
+	}
+	if tr != core.TransportSocket || rec.NodeID != 7 {
+		t.Fatalf("fetch during outage: rec=%+v tr=%v, want socket-served record", rec, tr)
+	}
+
+	// Second consecutive failure trips the breaker (TripAfter default 2).
+	if _, tr, err = pr.FetchVia(); err != nil || tr != core.TransportSocket {
+		t.Fatalf("second outage fetch: tr=%v err=%v", tr, err)
+	}
+	fo := pr.Failover()
+	if fo == nil || !fo.Tripped() {
+		t.Fatal("breaker not tripped after two consecutive RDMA failures")
+	}
+	if fo.Trips != 1 {
+		t.Fatalf("Trips = %d, want 1", fo.Trips)
+	}
+
+	// While tripped, fetches keep flowing over the standby; every 4th
+	// carries a background re-arm probe. After the re-pin the re-arm
+	// re-handshake picks up the fresh rkey, and two consecutive
+	// successes fail the breaker back.
+	deadline := time.Now().Add(15 * time.Second)
+	for fo.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never failed back after MR re-pin")
+		}
+		if _, tr, err = pr.FetchVia(); err != nil || tr != core.TransportSocket {
+			t.Fatalf("tripped fetch: tr=%v err=%v", tr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fo.FailBacks != 1 {
+		t.Fatalf("FailBacks = %d, want 1", fo.FailBacks)
+	}
+
+	// Back on the preferred transport, serving fresh records.
+	rec, tr, err = pr.FetchVia()
+	if err != nil || tr != core.TransportRDMA || rec.NodeID != 7 {
+		t.Fatalf("post-fail-back fetch: rec=%+v tr=%v err=%v", rec, tr, err)
+	}
+	if pr.Fallbacks == 0 || pr.ReArms == 0 {
+		t.Fatalf("Fallbacks/ReArms = %d/%d, want both non-zero", pr.Fallbacks, pr.ReArms)
+	}
+}
+
+// TestFailoverNoopOnSocketScheme: arming a breaker on a socket-scheme
+// probe is documented as a no-op — there is no faster transport to
+// fall back from.
+func TestFailoverNoopOnSocketScheme(t *testing.T) {
+	_, pr := startPair(t, core.SocketSync, synthetic(3))
+	pr.SetFailover(core.FailoverConfig{})
+	if pr.Failover() != nil {
+		t.Fatal("socket-scheme probe grew a breaker")
+	}
+	rec, tr, err := pr.FetchVia()
+	if err != nil || tr != core.TransportSocket || rec.NrRunning != 3 {
+		t.Fatalf("fetch: rec=%+v tr=%v err=%v", rec, tr, err)
+	}
+}
+
+// TestFailoverUnarmedUnchanged: without SetFailover an RDMA probe keeps
+// the seed behaviour — FetchVia reports RDMA and survives an agent MR
+// re-pin via its one re-handshake retry (no breaker involved).
+func TestFailoverUnarmedUnchanged(t *testing.T) {
+	a, pr := startPair(t, core.RDMASync, synthetic(5))
+	if _, tr, err := pr.FetchVia(); err != nil || tr != core.TransportRDMA {
+		t.Fatalf("fetch: tr=%v err=%v", tr, err)
+	}
+	// Instant re-pin: the region comes back immediately with a new key;
+	// the retry's re-handshake must absorb the rotation.
+	a.InvalidateMR(1 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	if _, tr, err := pr.FetchVia(); err != nil || tr != core.TransportRDMA {
+		t.Fatalf("fetch after key rotation: tr=%v err=%v", tr, err)
+	}
+	if pr.Rehandshakes == 0 {
+		t.Fatal("key rotation absorbed without a re-handshake?")
+	}
+}

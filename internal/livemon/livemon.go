@@ -44,11 +44,13 @@ type Config struct {
 type Agent struct {
 	cfg   Config
 	verbs *tcpverbs.Agent
-	mr    *tcpverbs.MR
 
-	mu  sync.Mutex
-	buf []byte // refreshed encoding (async schemes)
-	seq uint32
+	mu     sync.Mutex
+	mr     *tcpverbs.MR    // mutable: InvalidateMR drops and re-pins it
+	mrSrc  tcpverbs.Source // registration source, kept for re-pinning
+	buf    []byte          // refreshed encoding (async schemes)
+	seq    uint32
+	closed bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -93,27 +95,46 @@ func StartAgent(cfg Config) (*Agent, error) {
 			return nil, err
 		}
 		a.startRefresher()
-		a.mr = v.RegisterMR(a.snapshotBuf, wire.RecordSize)
+		a.mrSrc = a.snapshotBuf
+		a.mr = v.RegisterMR(a.mrSrc, wire.RecordSize)
+		// Standby socket channel (see core.Failover): answers from the
+		// same refreshed buffer the region exposes, so a probe failed
+		// over to it sees identical staleness semantics.
+		v.HandleCall(portProbe, func([]byte) []byte { return a.snapshotBuf() })
 	case core.RDMASync, core.ERDMASync:
-		a.mr = v.RegisterMR(func() []byte {
+		a.mrSrc = func() []byte {
 			b, err := a.sampleEncode()
 			if err != nil {
 				return make([]byte, wire.RecordSize)
 			}
 			return b
-		}, wire.RecordSize)
+		}
+		a.mr = v.RegisterMR(a.mrSrc, wire.RecordSize)
+		// Standby socket channel: samples per request like Socket-Sync,
+		// sharing the sequence counter with the region source so
+		// sequence numbers stay monotonic across transports.
+		v.HandleCall(portProbe, func([]byte) []byte {
+			b, err := a.sampleEncode()
+			if err != nil {
+				return nil
+			}
+			return b
+		})
 	default:
 		v.Close()
 		return nil, fmt.Errorf("livemon: unknown scheme %v", cfg.Scheme)
 	}
 
-	// Control endpoint: scheme + rkey discovery for probes.
+	// Control endpoint: scheme + rkey discovery for probes. The region
+	// key is read under the lock: InvalidateMR swaps it concurrently.
 	v.HandleCall(portInfo, func([]byte) []byte {
 		info := make([]byte, 5)
 		info[0] = byte(cfg.Scheme)
+		a.mu.Lock()
 		if a.mr != nil {
 			binary.BigEndian.PutUint32(info[1:], a.mr.Key())
 		}
+		a.mu.Unlock()
 		return info
 	})
 	return a, nil
@@ -127,6 +148,9 @@ func (a *Agent) Scheme() core.Scheme { return a.cfg.Scheme }
 
 // Close stops the agent.
 func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
 	select {
 	case <-a.stop:
 	default:
@@ -135,6 +159,33 @@ func (a *Agent) Close() error {
 	err := a.verbs.Close()
 	a.wg.Wait()
 	return err
+}
+
+// InvalidateMR models the remote key going stale (RDMA schemes only):
+// the region is deregistered immediately — in-flight and subsequent
+// reads with the old key fail — and, if repin > 0, re-registered with
+// a fresh key after repin, the agent noticing and re-pinning the page.
+// Probes recover the new key through their re-handshake path.
+func (a *Agent) InvalidateMR(repin time.Duration) {
+	a.mu.Lock()
+	mr, src := a.mr, a.mrSrc
+	a.mr = nil
+	a.mu.Unlock()
+	if mr == nil {
+		return
+	}
+	a.verbs.Deregister(mr)
+	if repin <= 0 || src == nil {
+		return
+	}
+	time.AfterFunc(repin, func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if a.closed || a.mr != nil {
+			return
+		}
+		a.mr = a.verbs.RegisterMR(src, wire.RecordSize)
+	})
 }
 
 // sampleEncode takes a fresh snapshot and encodes it.
@@ -198,8 +249,20 @@ type Probe struct {
 	scheme core.Scheme
 	rkey   uint32
 
+	// fo, when armed via SetFailover under an RDMA scheme, is the
+	// transport breaker: consecutive one-sided read failures fail the
+	// probe over to the agent's standby socket channel, a low-rate
+	// background re-arm probe retests the RDMA path, and the breaker
+	// fails back after consecutive re-arm successes.
+	fo *core.Failover
+
 	// Rehandshakes counts successful post-failure re-handshakes.
 	Rehandshakes uint64
+	// Fallbacks counts fetches served over the socket standby while the
+	// preferred transport is RDMA.
+	Fallbacks uint64
+	// ReArms counts background re-arm probes of the RDMA path.
+	ReArms uint64
 }
 
 // Dial connects to an agent and discovers its scheme and region key,
@@ -245,12 +308,91 @@ func (p *Probe) Scheme() core.Scheme {
 	return p.scheme
 }
 
+// SetFailover arms the probe's transport breaker. It is a no-op under
+// the socket schemes, which have nothing to fail over from.
+func (p *Probe) SetFailover(cfg core.FailoverConfig) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.scheme.UsesRDMA() {
+		return
+	}
+	p.fo = &core.Failover{Cfg: cfg}
+}
+
+// Failover exposes the probe's breaker (nil unless armed).
+func (p *Probe) Failover() *core.Failover {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fo
+}
+
+// SeedJitter makes the connection's retry-backoff jitter deterministic
+// (see tcpverbs.Conn.SeedJitter); tests use it for reproducible runs.
+func (p *Probe) SeedJitter(seed int64) { p.conn.SeedJitter(seed) }
+
 // Fetch retrieves one load record. On failure it re-handshakes once
 // (refreshing scheme and rkey from the — possibly restarted — agent)
 // and retries; the original error is returned if recovery also fails.
 func (p *Probe) Fetch() (wire.LoadRecord, error) {
+	rec, _, err := p.FetchVia()
+	return rec, err
+}
+
+// FetchVia retrieves one load record and reports which transport
+// served it. Without an armed breaker it behaves like the seed Fetch
+// (the scheme's own transport, one re-handshake retry). With one armed:
+//
+//   - breaker armed: read over RDMA (re-handshake retry included); a
+//     success feeds PrimaryOK, a failure feeds PrimaryFail and the
+//     fetch degrades to the socket standby for this cycle.
+//   - breaker tripped: fetch over the socket standby; every
+//     ReArmEvery-th cycle additionally retests the RDMA path in the
+//     background (refreshing the rkey via re-handshake if the first
+//     attempt fails — a re-pinned region hands out a fresh key), and
+//     FailBackAfter consecutive re-arm successes fail the breaker back.
+func (p *Probe) FetchVia() (wire.LoadRecord, core.Transport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fo == nil || !p.scheme.UsesRDMA() {
+		tr := core.TransportSocket
+		if p.scheme.UsesRDMA() {
+			tr = core.TransportRDMA
+		}
+		rec, err := p.fetchRecoverLocked()
+		return rec, tr, err
+	}
+	if p.fo.Tripped() {
+		rec, err := p.socketLocked()
+		if p.fo.ShouldReArm() {
+			p.ReArms++
+			if _, rerr := p.rdmaRecoverLocked(); rerr == nil {
+				p.fo.ReArmOK()
+			} else {
+				p.fo.ReArmFail()
+			}
+		}
+		if err != nil {
+			return wire.LoadRecord{}, core.TransportSocket, err
+		}
+		p.Fallbacks++
+		return rec, core.TransportSocket, nil
+	}
+	rec, err := p.rdmaRecoverLocked()
+	if err == nil {
+		p.fo.PrimaryOK()
+		return rec, core.TransportRDMA, nil
+	}
+	p.fo.PrimaryFail()
+	if rec, serr := p.socketLocked(); serr == nil {
+		p.Fallbacks++
+		return rec, core.TransportSocket, nil
+	}
+	return wire.LoadRecord{}, core.TransportRDMA, err
+}
+
+// fetchRecoverLocked is the seed fetch path: the scheme's own
+// transport, with one re-handshake retry on failure.
+func (p *Probe) fetchRecoverLocked() (wire.LoadRecord, error) {
 	rec, err := p.fetchLocked()
 	if err == nil {
 		return rec, nil
@@ -262,18 +404,41 @@ func (p *Probe) Fetch() (wire.LoadRecord, error) {
 	return p.fetchLocked()
 }
 
-func (p *Probe) fetchLocked() (wire.LoadRecord, error) {
-	var raw []byte
-	var err error
-	if p.scheme.UsesRDMA() {
-		raw, err = p.conn.RDMARead(p.rkey, wire.RecordSize)
-	} else {
-		raw, err = p.conn.Call(portProbe, nil)
+// rdmaRecoverLocked reads over RDMA with one re-handshake retry (a
+// restarted or re-pinned agent hands out a fresh rkey).
+func (p *Probe) rdmaRecoverLocked() (wire.LoadRecord, error) {
+	rec, err := p.rdmaLocked()
+	if err == nil {
+		return rec, nil
 	}
+	if herr := p.handshake(); herr != nil {
+		return wire.LoadRecord{}, err
+	}
+	p.Rehandshakes++
+	return p.rdmaLocked()
+}
+
+func (p *Probe) rdmaLocked() (wire.LoadRecord, error) {
+	raw, err := p.conn.RDMARead(p.rkey, wire.RecordSize)
 	if err != nil {
 		return wire.LoadRecord{}, err
 	}
 	return wire.Decode(raw)
+}
+
+func (p *Probe) socketLocked() (wire.LoadRecord, error) {
+	raw, err := p.conn.Call(portProbe, nil)
+	if err != nil {
+		return wire.LoadRecord{}, err
+	}
+	return wire.Decode(raw)
+}
+
+func (p *Probe) fetchLocked() (wire.LoadRecord, error) {
+	if p.scheme.UsesRDMA() {
+		return p.rdmaLocked()
+	}
+	return p.socketLocked()
 }
 
 // Close tears down the probe connection.

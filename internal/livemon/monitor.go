@@ -14,13 +14,14 @@ import (
 type Monitor struct {
 	interval time.Duration
 
-	mu      sync.RWMutex
-	probes  map[string]*Probe
-	last    map[string]wire.LoadRecord
-	lastAt  map[string]time.Time
-	errs    map[string]error
-	health  map[string]*core.HealthTracker
-	weights core.Weights
+	mu        sync.RWMutex
+	probes    map[string]*Probe
+	last      map[string]wire.LoadRecord
+	lastAt    map[string]time.Time
+	errs      map[string]error
+	health    map[string]*core.HealthTracker
+	transport map[string]core.Transport
+	weights   core.Weights
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -40,14 +41,15 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 		interval = 50 * time.Millisecond
 	}
 	m := &Monitor{
-		interval: interval,
-		probes:   make(map[string]*Probe),
-		last:     make(map[string]wire.LoadRecord),
-		lastAt:   make(map[string]time.Time),
-		errs:     make(map[string]error),
-		health:   make(map[string]*core.HealthTracker),
-		weights:  core.DefaultWeights(),
-		stop:     make(chan struct{}),
+		interval:  interval,
+		probes:    make(map[string]*Probe),
+		last:      make(map[string]wire.LoadRecord),
+		lastAt:    make(map[string]time.Time),
+		errs:      make(map[string]error),
+		health:    make(map[string]*core.HealthTracker),
+		transport: make(map[string]core.Transport),
+		weights:   core.DefaultWeights(),
+		stop:      make(chan struct{}),
 	}
 	dialErrs := make(map[string]error)
 	for _, t := range targets {
@@ -70,8 +72,9 @@ func (m *Monitor) poll(target string, p *Probe) {
 	defer m.wg.Done()
 	tick := time.NewTicker(m.interval)
 	defer tick.Stop()
+	rdma := p.Scheme().UsesRDMA()
 	fetch := func() {
-		rec, err := p.Fetch()
+		rec, tr, err := p.FetchVia()
 		m.mu.Lock()
 		ht := m.health[target]
 		if err != nil {
@@ -81,7 +84,14 @@ func (m *Monitor) poll(target string, p *Probe) {
 			delete(m.errs, target)
 			m.last[target] = rec
 			m.lastAt[target] = time.Now()
-			ht.OK()
+			m.transport[target] = tr
+			if rdma && tr == core.TransportSocket {
+				// Alive, but only over the standby channel: Degraded
+				// keeps it dispatchable without calling it Healthy.
+				ht.DegradedOK()
+			} else {
+				ht.OK()
+			}
 		}
 		m.mu.Unlock()
 	}
@@ -108,6 +118,32 @@ func (m *Monitor) poll(target string, p *Probe) {
 			fetch()
 		}
 	}
+}
+
+// ArmFailover arms a transport breaker on every connected probe (see
+// Probe.SetFailover; socket-scheme probes ignore it).
+func (m *Monitor) ArmFailover(cfg core.FailoverConfig) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range m.probes {
+		p.SetFailover(cfg)
+	}
+}
+
+// Transport reports which transport served a target's newest record
+// (meaningful once Latest returns ok).
+func (m *Monitor) Transport(target string) core.Transport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.transport[target]
+}
+
+// Probe returns the monitor's probe for a target (nil if unknown);
+// tests use it to inspect breaker state.
+func (m *Monitor) Probe(target string) *Probe {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.probes[target]
 }
 
 // Health returns the probe-driven health state of a target; unknown

@@ -88,8 +88,29 @@ type WeightedLeastLoad struct {
 	// skipped by Exclude — dispatch decisions shaped by quarantine.
 	ExcludedPicks uint64
 
+	// Degraded, if set, reports a back-end currently monitored over its
+	// fallback transport (the monitor's Degraded verdict). Unlike
+	// Exclude it keeps the back-end in the dispatch set — that is the
+	// point of failover — but its index is handicapped by
+	// DegradedPenalty, steering marginal traffic toward back-ends whose
+	// fast monitoring path still works.
+	Degraded func(backend int) bool
+	// DegradedPenalty is the load-index handicap applied when Degraded
+	// reports true (default 0.05 when Degraded is set).
+	DegradedPenalty float64
+	// DegradedPicks counts picks that landed on a degraded back-end.
+	DegradedPicks uint64
+
 	// Picks counts per-backend selections, for imbalance diagnostics.
 	Picks map[int]uint64
+}
+
+// degradedPenalty resolves the default handicap.
+func degradedPenalty(p float64) float64 {
+	if p > 0 {
+		return p
+	}
+	return 0.05
 }
 
 // Name implements Policy.
@@ -117,6 +138,9 @@ func (w *WeightedLeastLoad) Pick() int {
 			}
 			idx += w.LocalWeight * share
 		}
+		if w.Degraded != nil && w.Degraded(b) {
+			idx += degradedPenalty(w.DegradedPenalty)
+		}
 		switch {
 		case best < 0 || idx < bestIdx:
 			best = b
@@ -141,6 +165,9 @@ func (w *WeightedLeastLoad) Pick() int {
 		} else {
 			best = w.Backends[0]
 		}
+	}
+	if w.Degraded != nil && w.Degraded(best) {
+		w.DegradedPicks++
 	}
 	if w.Picks != nil {
 		w.Picks[best]++
@@ -182,6 +209,13 @@ type WeightedProportional struct {
 	// quarantined; uniform fallback if everything is excluded.
 	Exclude       func(backend int) bool
 	ExcludedPicks uint64
+
+	// Degraded / DegradedPenalty / DegradedPicks: as in
+	// WeightedLeastLoad — degraded back-ends keep a (handicapped)
+	// traffic share rather than being zeroed like quarantined ones.
+	Degraded        func(backend int) bool
+	DegradedPenalty float64
+	DegradedPicks   uint64
 
 	// Picks counts per-backend selections.
 	Picks map[int]uint64
@@ -237,6 +271,9 @@ func (w *WeightedProportional) Pick() int {
 		// Stale information decays toward the prior (the fleet-average
 		// load of 0.5).
 		idx = conf*idx + (1-conf)*0.5
+		if w.Degraded != nil && w.Degraded(b) {
+			idx += degradedPenalty(w.DegradedPenalty)
+		}
 		free := 1 - idx
 		if free < 0.02 {
 			free = 0.02 // even a saturated-looking server keeps a trickle
@@ -277,6 +314,9 @@ func (w *WeightedProportional) Pick() int {
 		// Everything quarantined: uniform over all beats dispatching
 		// every request to Backends[0].
 		pick = w.Backends[w.Rng.Intn(len(w.Backends))]
+	}
+	if w.Degraded != nil && w.Degraded(pick) {
+		w.DegradedPicks++
 	}
 	if w.Picks != nil {
 		w.Picks[pick]++

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -134,15 +135,23 @@ func (l *Linux) open(name string) (*os.File, error) {
 	return os.Open(filepath.Join(l.Root, name))
 }
 
-// readStat parses /proc/stat: per-CPU jiffies, interrupt and context
-// switch totals.
+// readStat opens /proc/stat and delegates to parseStat.
 func (l *Linux) readStat(s *Snapshot) error {
 	f, err := l.open("stat")
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
+	return parseStat(f, s, l.prev)
+}
+
+// parseStat parses a /proc/stat stream: per-CPU jiffies, interrupt
+// and context switch totals. prev holds the previous sample's CPU
+// times for the utilisation delta (it is updated in place; pass a
+// fresh map to get zero utilisation). Malformed input yields an error,
+// never a panic — the parser is fuzzed on that contract.
+func parseStat(r io.Reader, s *Snapshot, prev map[int]cpuTimes) error {
+	sc := bufio.NewScanner(r)
 	cur := make(map[int]cpuTimes)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -152,7 +161,9 @@ func (l *Linux) readStat(s *Snapshot) error {
 		switch {
 		case strings.HasPrefix(fields[0], "cpu") && len(fields[0]) > 3:
 			id, err := strconv.Atoi(fields[0][3:])
-			if err != nil {
+			if err != nil || id < 0 {
+				// "cpu-1" parses as a valid int but would index the
+				// utilisation slice out of bounds below.
 				continue
 			}
 			var vals []uint64
@@ -195,49 +206,71 @@ func (l *Linux) readStat(s *Snapshot) error {
 		if id >= s.NumCPU {
 			continue
 		}
-		p, ok := l.prev[id]
+		p, ok := prev[id]
 		if ok && c.total > p.total {
 			s.UtilPerMille[id] = int((c.busy - p.busy) * 1000 / (c.total - p.total))
 			if s.UtilPerMille[id] > 1000 {
 				s.UtilPerMille[id] = 1000
 			}
 		}
-		l.prev[id] = c
+		prev[id] = c
 	}
 	return nil
 }
 
-// readLoadavg parses /proc/loadavg for the task counts
-// ("0.1 0.2 0.3 R/T lastpid").
+// readLoadavg opens /proc/loadavg and delegates to parseLoadavg.
 func (l *Linux) readLoadavg(s *Snapshot) error {
 	f, err := l.open("loadavg")
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	return parseLoadavg(f, s)
+}
+
+// parseLoadavg parses a /proc/loadavg stream for the task counts
+// ("0.1 0.2 0.3 R/T lastpid"). A missing or malformed R/T fraction is
+// an error: silently reporting zero tasks would tell the dispatcher
+// the machine is idle, which is worse than no record at all.
+func parseLoadavg(r io.Reader, s *Snapshot) error {
 	var a, b, c, frac string
-	if _, err := fmt.Fscan(f, &a, &b, &c, &frac); err != nil {
-		return err
+	if _, err := fmt.Fscan(r, &a, &b, &c, &frac); err != nil {
+		return fmt.Errorf("procfs: short loadavg: %w", err)
 	}
 	parts := strings.SplitN(frac, "/", 2)
-	if len(parts) == 2 {
-		run, _ := strconv.Atoi(parts[0])
-		if s.NrRunning == 0 {
-			s.NrRunning = run
-		}
-		s.NrTasks, _ = strconv.Atoi(parts[1])
+	if len(parts) != 2 {
+		return fmt.Errorf("procfs: malformed loadavg field %q", frac)
 	}
+	run, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("procfs: malformed loadavg field %q", frac)
+	}
+	tasks, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("procfs: malformed loadavg field %q", frac)
+	}
+	if s.NrRunning == 0 {
+		s.NrRunning = run
+	}
+	s.NrTasks = tasks
 	return nil
 }
 
-// readMeminfo parses /proc/meminfo (kB units).
+// readMeminfo opens /proc/meminfo and delegates to parseMeminfo.
 func (l *Linux) readMeminfo(s *Snapshot) error {
 	f, err := l.open("meminfo")
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
+	return parseMeminfo(f, s)
+}
+
+// parseMeminfo parses a /proc/meminfo stream (kB units). Input without
+// a MemTotal line is an error — a record with zero total memory would
+// make every memory-weighted load index divide garbage downstream.
+func parseMeminfo(r io.Reader, s *Snapshot) error {
+	sc := bufio.NewScanner(r)
 	var total, avail, free uint64
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -257,6 +290,12 @@ func (l *Linux) readMeminfo(s *Snapshot) error {
 			free = v
 		}
 	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return errors.New("procfs: meminfo has no MemTotal")
+	}
 	if avail == 0 {
 		avail = free
 	}
@@ -264,17 +303,24 @@ func (l *Linux) readMeminfo(s *Snapshot) error {
 	if total >= avail {
 		s.MemUsedKB = total - avail
 	}
-	return sc.Err()
+	return nil
 }
 
-// readNetDev parses /proc/net/dev, summing non-loopback interfaces.
+// readNetDev opens /proc/net/dev and delegates to parseNetDev.
 func (l *Linux) readNetDev(s *Snapshot) error {
 	f, err := l.open("net/dev")
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
+	return parseNetDev(f, s)
+}
+
+// parseNetDev parses a /proc/net/dev stream, summing non-loopback
+// interfaces. It stays lenient — network counters are optional — but
+// must never panic on junk.
+func parseNetDev(r io.Reader, s *Snapshot) error {
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
 		idx := strings.Index(line, ":")

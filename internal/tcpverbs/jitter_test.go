@@ -1,0 +1,60 @@
+package tcpverbs
+
+import "testing"
+
+// TestSeedJitterDeterministic: two connections seeded identically must
+// produce identical backoff-jitter streams, and reseeding restarts the
+// stream — this is what lets the chaos harness pin retry schedules.
+func TestSeedJitterDeterministic(t *testing.T) {
+	a := newAgent(t)
+	c1, c2 := dial(t, a), dial(t, a)
+	c1.SeedJitter(42)
+	c2.SeedJitter(42)
+	var first []float64
+	for i := 0; i < 16; i++ {
+		v1, v2 := c1.rng.Float64(), c2.rng.Float64()
+		if v1 != v2 {
+			t.Fatalf("draw %d diverged: %v vs %v", i, v1, v2)
+		}
+		first = append(first, v1)
+	}
+	c1.SeedJitter(42)
+	for i := 0; i < 16; i++ {
+		if v := c1.rng.Float64(); v != first[i] {
+			t.Fatalf("reseed draw %d = %v, want %v", i, v, first[i])
+		}
+	}
+	c1.SeedJitter(43)
+	diverged := false
+	for i := 0; i < 16; i++ {
+		if c1.rng.Float64() != first[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical jitter streams")
+	}
+}
+
+// TestDefaultJitterSeedsUncorrelated: the entropy-pool default must not
+// hand two connections dialed back-to-back the same seed (wall-clock
+// seeding would — that correlation is exactly what jitter exists to
+// destroy).
+func TestDefaultJitterSeedsUncorrelated(t *testing.T) {
+	a := newAgent(t)
+	c1, c2 := dial(t, a), dial(t, a)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if c1.rng.Float64() == c2.rng.Float64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("two freshly dialed connections share a jitter stream")
+	}
+	s1, s2 := jitterSeed(), jitterSeed()
+	if s1 == s2 {
+		t.Fatalf("consecutive jitterSeed() calls returned %d twice", s1)
+	}
+}

@@ -21,6 +21,7 @@
 package tcpverbs
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -428,8 +429,30 @@ func DialTimeout(addr string, opTimeout time.Duration) (*Conn, error) {
 		c:     c,
 		addr:  addr,
 		opTmo: opTimeout,
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:   rand.New(rand.NewSource(jitterSeed())),
 	}, nil
+}
+
+// jitterSeed draws a backoff-jitter seed from the system entropy pool.
+// Jitter exists to de-synchronize many initiators retrying at once;
+// wall-clock seeding would hand simultaneous dialers nearly identical
+// seeds — the exact correlation jitter is meant to destroy.
+func jitterSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return time.Now().UnixNano()
+	}
+	return int64(binary.BigEndian.Uint64(b[:]))
+}
+
+// SeedJitter replaces the connection's backoff-jitter RNG with a
+// deterministically seeded one, making the retry schedule reproducible
+// (tests and the chaos harness pin it; production keeps the
+// entropy-pool default).
+func (c *Conn) SeedJitter(seed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = rand.New(rand.NewSource(seed))
 }
 
 // Close tears the connection down; subsequent operations fail without
