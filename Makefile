@@ -1,14 +1,14 @@
 # Repo-local CI. `make ci` is the gate a change must pass before it
 # lands: vet, build, the full suite under the race detector with
-# shuffled test order, a short smoke run of every fuzzer, and a
-# chaos-harness smoke across a few random fault plans.
+# shuffled test order, a short smoke run of every fuzzer, and
+# chaos/HA-harness smokes across a few random fault plans.
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke bench clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke bench clean
 
-ci: vet build race fuzz chaos-smoke
+ci: vet build race fuzz chaos-smoke ha-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,11 +33,18 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzServeFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzProcfsParsers -fuzztime=$(FUZZTIME) ./internal/procfs
+	$(GO) test -run=^$$ -fuzz=FuzzLeaseRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Randomized failover chaos: three seeded fault plans, invariants
 # asserted, non-zero exit on any violation.
 chaos-smoke:
 	$(GO) run ./cmd/rmbench -exp chaos -quick -seeds 3
+
+# Front-end HA under front-end crash/freeze/partition plans: lease
+# safety (no split-brain), epoch fencing and bounded takeover asserted,
+# non-zero exit on any violation.
+ha-smoke:
+	$(GO) run ./cmd/rmbench -exp ha -quick -seeds 3
 
 # One-command reproduction pass over the paper's tables and figures.
 bench:

@@ -25,7 +25,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids")
 		quick  = flag.Bool("quick", false, "short runs (noisier tails)")
 		seed   = flag.Int64("seed", 0, "simulation seed (0 = default)")
-		seeds  = flag.Int("seeds", 0, "random fault plans for -exp chaos (0 = default of 5)")
+		seeds  = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha (0 = default of 5)")
 		seq    = flag.Bool("seq", false, "run sweep points sequentially")
 		format = flag.String("format", "table", "output format: table, csv, plot")
 	)

@@ -45,8 +45,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `rmmon — live fine-grained resource monitoring
 
 subcommands:
-  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>]
+  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>] [-host-lease]
   probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
+         [-lease <replica-id> [-witness <addr>]]
   once   -target <addr>
 
 schemes: socket-async, socket-sync, rdma-async, rdma-sync, e-rdma-sync`)
@@ -68,13 +69,15 @@ func runAgent(args []string) {
 	node := fs.Int("node", 0, "node id reported in records")
 	interval := fs.Duration("interval", 50*time.Millisecond, "async refresh period")
 	mrFlap := fs.Duration("mr-flap", 0, "chaos: invalidate the RDMA region every interval, re-pinning after 1/4 of it")
+	hostLease := fs.Bool("host-lease", false, "witness role: host the front-end lease word for one-sided CAS")
 	fs.Parse(args)
 
 	a, err := livemon.StartAgent(livemon.Config{
-		Scheme:   mustScheme(*scheme),
-		Addr:     *listen,
-		NodeID:   uint16(*node),
-		Interval: *interval,
+		Scheme:    mustScheme(*scheme),
+		Addr:      *listen,
+		NodeID:    uint16(*node),
+		Interval:  *interval,
+		HostLease: *hostLease,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmmon agent:", err)
@@ -101,6 +104,8 @@ func runProbe(args []string) {
 	interval := fs.Duration("interval", 50*time.Millisecond, "poll interval")
 	count := fs.Int("count", 0, "number of polling cycles (0 = forever)")
 	failover := fs.Bool("failover", false, "arm the RDMA->socket transport breaker (RDMA schemes)")
+	leaseID := fs.Int("lease", 0, "front-end replica id (1-based): contend for the dispatch lease hosted by the witness in -witness")
+	witness := fs.String("witness", "", "witness agent address hosting the lease word (default: first target)")
 	fs.Parse(args)
 	if *targets == "" {
 		fmt.Fprintln(os.Stderr, "rmmon probe: -targets required")
@@ -120,9 +125,28 @@ func runProbe(args []string) {
 		}
 		probes = append(probes, p)
 	}
+	var lease *livemon.LeaseClient
+	if *leaseID > 0 {
+		waddr := strings.TrimSpace(*witness)
+		if waddr == "" {
+			waddr = strings.TrimSpace(addrs[0])
+		}
+		lc, err := livemon.DialLease(waddr, uint16(*leaseID), core.LeaseConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmmon probe: lease witness %s: %v\n", waddr, err)
+			os.Exit(1)
+		}
+		defer lc.Close()
+		lease = lc
+	}
 	w := core.DefaultWeights()
 	for cycle := 0; *count == 0 || cycle < *count; cycle++ {
 		start := time.Now()
+		if lease != nil {
+			tk, rn, dp := lease.Counters()
+			fmt.Printf("lease: role=%s epoch=%d valid=%v takeovers=%d renewals=%d deposals=%d\n",
+				lease.Role(), lease.Epoch(), lease.Valid(), tk, rn, dp)
+		}
 		for i, p := range probes {
 			rec, tr, err := p.FetchVia()
 			if err != nil {

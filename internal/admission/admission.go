@@ -25,6 +25,22 @@ type Config struct {
 	// full. A request is rejected when every back-end is full.
 	Threshold float64
 	Weights   core.Weights
+
+	// Eligible, if set, reports whether a back-end may serve at all
+	// (the monitor's health verdict). Quarantined and crashed back-ends
+	// are skipped outright: the dispatcher will never route to them, so
+	// counting their (stale, often idle-looking) records as spare
+	// capacity admits requests the cluster cannot actually serve.
+	Eligible func(backend int) bool
+
+	// Degraded, if set, reports a back-end currently monitored over its
+	// fallback transport. Its index is handicapped by DegradedPenalty —
+	// the same handicap the dispatch policy applies — so admission and
+	// routing agree on how much headroom a shakily-monitored back-end
+	// really has.
+	Degraded func(backend int) bool
+	// DegradedPenalty defaults to loadbalance.DefaultDegradedPenalty.
+	DegradedPenalty float64
 }
 
 // Defaults returns a controller configuration that starts rejecting
@@ -54,12 +70,28 @@ func New(cfg Config, source loadbalance.LoadSource) *Controller {
 }
 
 // Admit decides one request given the candidate back-ends. A back-end
-// with no record yet counts as available (optimistic start).
+// with no record yet counts as available (optimistic start); an
+// ineligible one never does.
 func (c *Controller) Admit(backends []int) bool {
 	ok := false
 	for _, b := range backends {
+		if c.Cfg.Eligible != nil && !c.Cfg.Eligible(b) {
+			continue
+		}
 		rec, have := c.Source(b)
-		if !have || c.Cfg.Weights.Index(rec) < c.Cfg.Threshold {
+		if !have {
+			ok = true
+			break
+		}
+		idx := c.Cfg.Weights.Index(rec)
+		if c.Cfg.Degraded != nil && c.Cfg.Degraded(b) {
+			if c.Cfg.DegradedPenalty > 0 {
+				idx += c.Cfg.DegradedPenalty
+			} else {
+				idx += loadbalance.DefaultDegradedPenalty
+			}
+		}
+		if idx < c.Cfg.Threshold {
 			ok = true
 			break
 		}

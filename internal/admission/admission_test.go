@@ -112,3 +112,45 @@ func TestAdmissionKeepsLatencyBounded(t *testing.T) {
 			meanOn, meanOff)
 	}
 }
+
+// TestIneligibleBackendsAreNoCapacity: a quarantined back-end's stale,
+// idle-looking record must not admit requests the dispatcher will never
+// be able to route to it.
+func TestIneligibleBackendsAreNoCapacity(t *testing.T) {
+	loads := map[int]wire.LoadRecord{
+		1: recWithLoad(1, 1000, 64), // saturated but alive
+		2: recWithLoad(2, 50, 1),    // looks idle — but it is dead
+	}
+	cfg := admission.Defaults()
+	cfg.Eligible = func(b int) bool { return b != 2 }
+	c := admission.New(cfg, func(b int) (wire.LoadRecord, bool) { r, ok := loads[b]; return r, ok })
+	if c.Admit([]int{1, 2}) {
+		t.Fatal("admitted against a dead back-end's stale record")
+	}
+	// The same cluster with node 2 alive admits.
+	cfg.Eligible = nil
+	c2 := admission.New(cfg, func(b int) (wire.LoadRecord, bool) { r, ok := loads[b]; return r, ok })
+	if !c2.Admit([]int{1, 2}) {
+		t.Fatal("should admit when the idle back-end is actually alive")
+	}
+}
+
+// TestDegradedPenaltyMatchesDispatch: a back-end just under the
+// threshold over a degraded transport must be handicapped past it —
+// with the same default penalty the dispatch policy uses.
+func TestDegradedPenaltyMatchesDispatch(t *testing.T) {
+	// DefaultWeights CPU weight is 0.35: util 820/1000 -> index ~0.287.
+	marginal := recWithLoad(1, 820, 0)
+	cfg := admission.Config{Threshold: 0.30, Weights: core.DefaultWeights()}
+	cfg.Degraded = func(int) bool { return true }
+	c := admission.New(cfg, func(int) (wire.LoadRecord, bool) { return marginal, true })
+	if c.Admit([]int{1}) {
+		t.Fatal("degraded penalty (default 0.05) should tip 0.287 past threshold 0.30")
+	}
+	// Healthy transport: same record admits.
+	cfg.Degraded = nil
+	c2 := admission.New(cfg, func(int) (wire.LoadRecord, bool) { return marginal, true })
+	if !c2.Admit([]int{1}) {
+		t.Fatal("healthy back-end under threshold should admit")
+	}
+}

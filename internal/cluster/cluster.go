@@ -79,7 +79,39 @@ type Config struct {
 	// path breaks, failing back after it recovers. Ignored under the
 	// socket schemes, which have nothing to fail over from.
 	Failover *core.FailoverConfig
+
+	// Replicas is the number of front-end replicas. Zero or one keeps
+	// the seed topology: a single front-end on node 0, no lease. With
+	// R > 1 the front-end is replicated for availability: replica 0
+	// stays on node 0, replicas 1..R-1 run on nodes
+	// Backends+1..Backends+R-1, and a witness node (Backends+R) hosts
+	// the lease regions. Every replica shadow-probes all back-ends —
+	// free under the RDMA schemes — but only the lease holder's
+	// dispatcher routes; the rest answer NotPrimary.
+	Replicas int
+
+	// Lease tunes leased primaryship (defaults derived from Poll; only
+	// meaningful with Replicas > 1).
+	Lease core.LeaseConfig
 }
+
+// Replica is one front-end instance: its own monitor (warm load view),
+// policy, dispatcher (fenced by the lease) and lease manager.
+type Replica struct {
+	Index int // 0-based; lease holder ID is Index+1
+	Node  *simos.Node
+	NIC   *simnet.NIC
+
+	Monitor    *core.Monitor
+	Policy     loadbalance.Policy
+	Dispatcher *httpsim.Dispatcher
+	LeaseMgr   *core.LeaseManager
+
+	down bool
+}
+
+// Down reports whether the replica is currently crashed.
+func (r *Replica) Down() bool { return r.down }
 
 // Cluster is a fully wired simulated deployment.
 type Cluster struct {
@@ -100,6 +132,19 @@ type Cluster struct {
 	Monitor    *core.Monitor
 	Policy     loadbalance.Policy
 	Dispatcher *httpsim.Dispatcher
+
+	// Replicated front-end (Cfg.Replicas > 1). FrontEnds[0] aliases
+	// Front/Monitor/Policy/Dispatcher; Witness hosts the lease vault.
+	FrontEnds  []*Replica
+	Witness    *simos.Node
+	WitnessNIC *simnet.NIC
+	Vault      *core.LeaseVault
+
+	// OnReplicaRestart, if set, runs after a crashed front-end replica
+	// is rebooted with fresh monitor/dispatcher/lease instances, so
+	// observers (experiment checkers, exporters) can re-install their
+	// hooks on the new objects.
+	OnReplicaRestart func(r *Replica)
 
 	extCursor     int
 	retiredServed uint64 // served counts of servers replaced after a crash
@@ -154,24 +199,147 @@ func New(cfg Config) *Cluster {
 	}
 	c.Policy = c.buildPolicy()
 	if !cfg.NoServers {
-		c.Dispatcher = httpsim.StartDispatcher(c.Front, c.FNIC, c.Policy)
-		lw := cfg.LocalWeight
-		switch {
-		case lw < 0:
-			lw = 0
-		case lw == 0:
-			lw = 0.1
-		}
-		switch p := c.Policy.(type) {
-		case *loadbalance.WeightedLeastLoad:
-			p.LocalWeight = lw
-			p.LocalFrac = c.Dispatcher.LocalFrac
-		case *loadbalance.WeightedProportional:
-			p.LocalWeight = lw
-			p.LocalFrac = c.Dispatcher.LocalFrac
-		}
+		c.Dispatcher = c.wireDispatcher(c.Front, c.FNIC, c.Policy)
+	}
+	if cfg.Replicas > 1 {
+		c.buildHA()
 	}
 	return c
+}
+
+// wireDispatcher starts a dispatcher on node and blends its local
+// connection-count signal into the policy.
+func (c *Cluster) wireDispatcher(node *simos.Node, nic *simnet.NIC, pol loadbalance.Policy) *httpsim.Dispatcher {
+	d := httpsim.StartDispatcher(node, nic, pol)
+	lw := c.Cfg.LocalWeight
+	switch {
+	case lw < 0:
+		lw = 0
+	case lw == 0:
+		lw = 0.1
+	}
+	switch p := pol.(type) {
+	case *loadbalance.WeightedLeastLoad:
+		p.LocalWeight = lw
+		p.LocalFrac = d.LocalFrac
+	case *loadbalance.WeightedProportional:
+		p.LocalWeight = lw
+		p.LocalFrac = d.LocalFrac
+	}
+	return d
+}
+
+// buildHA replicates the front-end: standby replica nodes, the
+// witness with its lease vault, and a lease manager per replica
+// fencing every dispatcher. Replica 0 wraps the objects New already
+// built on node 0.
+func (c *Cluster) buildHA() {
+	wid := c.Cfg.Backends + c.Cfg.Replicas
+	c.Witness = simos.NewNode(c.Eng, wid, c.Cfg.Node)
+	c.WitnessNIC = c.Fab.Attach(c.Witness)
+	c.Vault = core.NewLeaseVault(c.WitnessNIC)
+
+	r0 := &Replica{Index: 0, Node: c.Front, NIC: c.FNIC,
+		Monitor: c.Monitor, Policy: c.Policy, Dispatcher: c.Dispatcher}
+	c.FrontEnds = []*Replica{r0}
+	for i := 1; i < c.Cfg.Replicas; i++ {
+		node := simos.NewNode(c.Eng, c.Cfg.Backends+i, c.Cfg.Node)
+		r := &Replica{Index: i, Node: node, NIC: c.Fab.Attach(node)}
+		c.startReplica(r)
+		c.FrontEnds = append(c.FrontEnds, r)
+	}
+	for _, r := range c.FrontEnds {
+		c.armLease(r)
+	}
+}
+
+// replicaRand is the policy RNG for a replica: replica 0 keeps the
+// cluster RNG (so single-front behaviour is untouched), standbys get
+// their own deterministic streams.
+func (c *Cluster) replicaRand(i int) *rand.Rand {
+	if i == 0 {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(c.Cfg.Seed + 1000 + int64(i)))
+}
+
+// startReplica builds a replica's monitor, policy and dispatcher
+// (used for standbys at construction and for any replica after a
+// restart).
+func (c *Cluster) startReplica(r *Replica) {
+	if !c.Cfg.NoMonitor {
+		r.Monitor = core.StartMonitor(r.Node, r.NIC, c.Agents, c.Cfg.Poll)
+		r.Monitor.SetProbeTimeout(c.Cfg.ProbeTimeout)
+		if c.Cfg.Failover != nil && c.Cfg.Scheme.UsesRDMA() {
+			r.Monitor.ArmFailover(*c.Cfg.Failover)
+		}
+	}
+	r.Policy = c.buildPolicyFor(r.Monitor, c.replicaRand(r.Index))
+	if !c.Cfg.NoServers {
+		r.Dispatcher = c.wireDispatcher(r.Node, r.NIC, r.Policy)
+	}
+}
+
+// armLease starts a replica's lease manager and fences its dispatcher
+// on lease validity.
+func (c *Cluster) armLease(r *Replica) {
+	r.LeaseMgr = core.StartLeaseManager(r.Node, r.NIC, c.Witness.ID,
+		c.Vault.WordMR.Key(), c.Vault.RecMR.Key(),
+		uint16(r.Index+1), c.Cfg.Lease.WithDefaults(c.Cfg.Poll))
+	if r.Dispatcher != nil {
+		lm := r.LeaseMgr
+		eng := c.Eng
+		r.Dispatcher.Fence = func() bool { return lm.Lease.Valid(eng.Now()) }
+	}
+}
+
+// restartReplica reboots a crashed front-end replica: fresh monitor
+// (it re-warms its load view probe by probe), fresh fenced dispatcher,
+// fresh lease manager starting as follower.
+func (c *Cluster) restartReplica(r *Replica) {
+	c.startReplica(r)
+	c.armLease(r)
+	r.down = false
+	if r.Index == 0 {
+		c.Monitor, c.Policy, c.Dispatcher = r.Monitor, r.Policy, r.Dispatcher
+	}
+	if c.OnReplicaRestart != nil {
+		c.OnReplicaRestart(r)
+	}
+}
+
+// replicaByNode maps a node ID to its front-end replica, if any.
+func (c *Cluster) replicaByNode(node int) *Replica {
+	for _, r := range c.FrontEnds {
+		if r.Node.ID == node {
+			return r
+		}
+	}
+	return nil
+}
+
+// FrontEndIDs lists the front-end node IDs clients can target.
+func (c *Cluster) FrontEndIDs() []int {
+	if len(c.FrontEnds) == 0 {
+		return []int{c.Front.ID}
+	}
+	ids := make([]int, len(c.FrontEnds))
+	for i, r := range c.FrontEnds {
+		ids[i] = r.Node.ID
+	}
+	return ids
+}
+
+// Primary returns the replica currently holding a valid lease, or nil
+// (single-front clusters always return nil; check Dispatcher instead).
+func (c *Cluster) Primary() *Replica {
+	now := c.Eng.Now()
+	for _, r := range c.FrontEnds {
+		if r.LeaseMgr != nil && r.LeaseMgr.Lease.Valid(now) {
+			return r
+		}
+	}
+	return nil
 }
 
 // agentConfig is the per-backend agent configuration, shared by New
@@ -186,17 +354,23 @@ func (c *Cluster) agentConfig() core.AgentConfig {
 }
 
 func (c *Cluster) buildPolicy() loadbalance.Policy {
+	return c.buildPolicyFor(c.Monitor, c.Rand)
+}
+
+// buildPolicyFor builds the dispatch policy against a specific
+// monitor (each front-end replica routes from its own warm view).
+func (c *Cluster) buildPolicyFor(mon *core.Monitor, rng *rand.Rand) loadbalance.Policy {
 	ids := c.BackendIDs()
 	switch c.Cfg.Policy {
 	case PolicyRoundRobin:
 		return &loadbalance.RoundRobin{Backends: ids}
 	case PolicyRandom:
-		return &loadbalance.Random{Backends: ids, Rng: c.Rand}
+		return &loadbalance.Random{Backends: ids, Rng: rng}
 	case PolicyLeastLoad, PolicyWebSphere:
 		var source loadbalance.LoadSource
 		var exclude, degraded func(int) bool
-		if c.Monitor != nil {
-			m := c.Monitor
+		if mon != nil {
+			m := mon
 			source = func(b int) (wire.LoadRecord, bool) {
 				rec, _, ok := m.Latest(b)
 				return rec, ok
@@ -217,7 +391,7 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 				Backends: ids,
 				Weights:  core.WeightsFor(c.Cfg.Scheme),
 				Source:   source,
-				Rng:      c.Rand,
+				Rng:      rng,
 				Exclude:  exclude,
 				Degraded: degraded,
 				Picks:    make(map[int]uint64),
@@ -227,15 +401,15 @@ func (c *Cluster) buildPolicy() loadbalance.Policy {
 			Backends:   ids,
 			Weights:    core.WeightsFor(c.Cfg.Scheme),
 			Source:     source,
-			Rng:        c.Rand,
+			Rng:        rng,
 			Gamma:      c.Cfg.Gamma,
 			StaleAfter: 250 * sim.Millisecond,
 			Exclude:    exclude,
 			Degraded:   degraded,
 			Picks:      make(map[int]uint64),
 		}
-		if c.Monitor != nil {
-			m := c.Monitor
+		if mon != nil {
+			m := mon
 			eng := c.Eng
 			wp.Aged = func(b int) (wire.LoadRecord, sim.Time, bool) {
 				rec, at, ok := m.Latest(b)
@@ -267,29 +441,34 @@ func (c *Cluster) allocExt(n int) int {
 	return base
 }
 
-// StartRUBiS attaches a closed-loop RUBiS client population.
-func (c *Cluster) StartRUBiS(clients int, think sim.Time, seed int64) *workload.ClientPool {
-	mix := workload.NewMix(workload.RUBiSMix())
-	return workload.StartClients(c.Fab, workload.ClientPoolConfig{
+// poolConfig builds the common client-pool config; with a replicated
+// front-end clients know every replica and use a short patience so a
+// dead primary is abandoned quickly.
+func (c *Cluster) poolConfig(clients int, think sim.Time, gen workload.Generator, seed int64) workload.ClientPoolConfig {
+	cfg := workload.ClientPoolConfig{
 		Clients:   clients,
 		ThinkMean: think,
 		FrontEnd:  c.Front.ID,
 		ExtBase:   c.allocExt(clients),
-		Gen:       workload.MixGenerator(mix),
+		Gen:       gen,
 		Seed:      seed,
-	})
+	}
+	if len(c.FrontEnds) > 1 {
+		cfg.FrontEnds = c.FrontEndIDs()
+		cfg.Timeout = 2 * sim.Second
+	}
+	return cfg
+}
+
+// StartRUBiS attaches a closed-loop RUBiS client population.
+func (c *Cluster) StartRUBiS(clients int, think sim.Time, seed int64) *workload.ClientPool {
+	mix := workload.NewMix(workload.RUBiSMix())
+	return workload.StartClients(c.Fab, c.poolConfig(clients, think, workload.MixGenerator(mix), seed))
 }
 
 // StartZipf attaches a closed-loop Zipf-trace client population.
 func (c *Cluster) StartZipf(z *workload.ZipfTrace, clients int, think sim.Time, seed int64) *workload.ClientPool {
-	return workload.StartClients(c.Fab, workload.ClientPoolConfig{
-		Clients:   clients,
-		ThinkMean: think,
-		FrontEnd:  c.Front.ID,
-		ExtBase:   c.allocExt(clients),
-		Gen:       workload.ZipfGenerator(z),
-		Seed:      seed,
-	})
+	return workload.StartClients(c.Fab, c.poolConfig(clients, think, workload.ZipfGenerator(z), seed))
 }
 
 // StartFlashCrowds attaches an open-loop RUBiS flash-crowd generator
@@ -331,6 +510,12 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 	for i, n := range c.Backends {
 		nodes[i+1] = n
 	}
+	for _, r := range c.FrontEnds {
+		nodes[r.Node.ID] = r.Node
+	}
+	if c.Witness != nil {
+		nodes[c.Witness.ID] = c.Witness
+	}
 	idx := func(node int) int {
 		if node < 1 || node > len(c.Backends) {
 			return -1
@@ -338,6 +523,13 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 		return node - 1
 	}
 	in.OnCrash = func(node int) {
+		if r := c.replicaByNode(node); r != nil {
+			// Node.Crash killed the monitor, dispatcher and lease tasks;
+			// the lease word still names the dead holder, so a standby
+			// seizes a new epoch after TakeoverAfter of silence.
+			r.down = true
+			return
+		}
 		i := idx(node)
 		if i < 0 {
 			return
@@ -354,6 +546,10 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 		}
 	}
 	in.OnRestart = func(node int) {
+		if r := c.replicaByNode(node); r != nil {
+			c.restartReplica(r)
+			return
+		}
 		i := idx(node)
 		if i < 0 {
 			return
@@ -368,6 +564,12 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 		if !c.Cfg.NoMonitor {
 			c.Agents[i] = core.StartAgent(n, nic, c.agentConfig())
 			c.Monitor.ReplaceAgent(node, c.Agents[i])
+			// Standby replicas track the reborn agent too.
+			for _, r := range c.FrontEnds {
+				if r.Monitor != nil && r.Monitor != c.Monitor {
+					r.Monitor.ReplaceAgent(node, c.Agents[i])
+				}
+			}
 		}
 	}
 	in.OnMRInvalidate = func(node int) {
@@ -397,6 +599,15 @@ func (c *Cluster) EnableAdmission(cfg admission.Config) *admission.Controller {
 		source = func(b int) (wire.LoadRecord, bool) {
 			rec, _, ok := m.Latest(b)
 			return rec, ok
+		}
+		// Admission sees back-ends exactly as dispatch does: quarantined
+		// nodes are no capacity at all, degraded ones carry the same
+		// index handicap the policy applies.
+		if cfg.Eligible == nil {
+			cfg.Eligible = func(b int) bool { return m.Health(b).Eligible() }
+		}
+		if cfg.Degraded == nil && c.Cfg.Failover != nil {
+			cfg.Degraded = func(b int) bool { return m.Health(b) == core.Degraded }
 		}
 	} else {
 		source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }

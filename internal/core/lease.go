@@ -1,0 +1,390 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// Leased primaryship for front-end replicas.
+//
+// Every replica shadow-probes the whole cluster over RDMA (free to the
+// back-ends), but only the lease holder dispatches. The lease is a
+// single 64-bit word — (holder, epoch, heartbeat), see wire.PackLeaseWord
+// — hosted in a writable registered region on a witness node and
+// mutated exclusively with one-sided compare-and-swap:
+//
+//   - renew:    CAS(my word -> my word, heartbeat+1). Success extends my
+//     validity by TTL; failure means the epoch moved under me and I am
+//     deposed, which is the fencing signal.
+//   - observe:  a follower RDMA-Reads the word each cycle. If it has
+//     not changed for TakeoverAfter, the holder is presumed dead.
+//   - takeover: CAS(observed word -> me, epoch+1, 0). The compare arm
+//     makes takeover races safe: exactly one standby wins the epoch.
+//
+// No clocks are compared across nodes. The holder trusts its lease for
+// TTL after the instant it *posted* each successful CAS; a standby
+// waits TakeoverAfter after the last *locally observed* change. The
+// post always precedes the apply at the witness, and a standby's
+// observation of the apply happens at or after it, so TakeoverAfter >
+// TTL guarantees the old holder's validity has lapsed before a new
+// epoch can begin. Stamping from the post (not from the completion
+// observation) matters: a host frozen between posting a renewal and
+// seeing its completion thaws to a stale success, and counting TTL
+// from the thaw would revive a lease the standbys already timed out.
+
+// LeaseRole is a replica's current role in the lease protocol.
+type LeaseRole uint8
+
+const (
+	// RoleFollower observes the lease word and stands by.
+	RoleFollower LeaseRole = iota
+	// RolePrimary holds the lease and may dispatch while valid.
+	RolePrimary
+)
+
+func (r LeaseRole) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "follower"
+}
+
+// LeaseConfig tunes the lease protocol. All durations are in virtual
+// time; the zero value takes defaults derived from the poll interval
+// via WithDefaults.
+type LeaseConfig struct {
+	// TTL is how long the holder trusts its lease after each confirmed
+	// renewal (default 6 poll intervals).
+	TTL sim.Time
+	// TakeoverAfter is how long a follower must observe an unchanged
+	// lease word before bidding for takeover. Safety requires it to
+	// exceed TTL by more than a CAS completion latency; WithDefaults
+	// and the sanitizer enforce TakeoverAfter >= TTL + 2*CheckEvery
+	// (default 10 poll intervals).
+	TakeoverAfter sim.Time
+	// CheckEvery is the renew/observe cadence (default 2 poll
+	// intervals).
+	CheckEvery sim.Time
+}
+
+// WithDefaults fills unset fields from the monitoring poll interval
+// and enforces the TakeoverAfter > TTL safety margin.
+func (c LeaseConfig) WithDefaults(poll sim.Time) LeaseConfig {
+	if poll <= 0 {
+		poll = DefaultInterval
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 2 * poll
+	}
+	if c.TTL <= 0 {
+		c.TTL = 6 * poll
+	}
+	if c.TakeoverAfter <= 0 {
+		c.TakeoverAfter = c.TTL + 4*poll
+	}
+	if min := c.TTL + 2*c.CheckEvery; c.TakeoverAfter < min {
+		c.TakeoverAfter = min
+	}
+	return c
+}
+
+// Lease is the per-replica lease state machine. Like Failover it is
+// clock-free and outcome-driven: the manager performs the verbs and
+// feeds back what happened; the machine never reads a clock itself
+// (callers pass now), so it is exactly unit-testable.
+type Lease struct {
+	Cfg LeaseConfig
+	Me  uint16 // 1-based holder ID (0 is reserved for "vacant")
+
+	role       LeaseRole
+	epoch      uint16
+	heartbeat  uint32
+	validUntil sim.Time
+
+	lastWord     uint64
+	lastChangeAt sim.Time
+	seen         bool
+
+	// Takeovers counts epochs this replica won; Renewals counts
+	// confirmed heartbeats; Deposals counts renewals lost to a newer
+	// epoch (the fencing events).
+	Takeovers uint64
+	Renewals  uint64
+	Deposals  uint64
+
+	// OnAcquire/OnRenew/OnDepose observe role transitions (the HA
+	// invariant checker builds validity intervals from them).
+	OnAcquire func(epoch uint16, now, validUntil sim.Time)
+	OnRenew   func(epoch uint16, now, validUntil sim.Time)
+	OnDepose  func(epoch uint16, now sim.Time)
+}
+
+// NewLease builds a follower-state lease machine for holder me.
+func NewLease(me uint16, cfg LeaseConfig) *Lease {
+	return &Lease{Cfg: cfg.WithDefaults(0), Me: me}
+}
+
+// Role returns the current role.
+func (l *Lease) Role() LeaseRole { return l.role }
+
+// Epoch returns the epoch this replica last held (meaningful while
+// primary; the last-held epoch after deposal).
+func (l *Lease) Epoch() uint16 { return l.epoch }
+
+// Valid reports whether this replica may dispatch at now: it is
+// primary and within TTL of its last confirmed CAS. This is the fence
+// consulted on every routing decision.
+func (l *Lease) Valid(now sim.Time) bool {
+	return l.role == RolePrimary && now < l.validUntil
+}
+
+// ValidUntil returns the end of the current validity window (zero for
+// a follower that never held the lease).
+func (l *Lease) ValidUntil() sim.Time { return l.validUntil }
+
+// Observe feeds a follower's read of the lease word and reports
+// whether a takeover bid is due: immediately if the word is vacant,
+// otherwise once the word has been unchanged for TakeoverAfter.
+func (l *Lease) Observe(word uint64, now sim.Time) bool {
+	if word != l.lastWord || !l.seen {
+		l.lastWord = word
+		l.lastChangeAt = now
+		l.seen = true
+		return word == wire.LeaseVacant
+	}
+	if word == wire.LeaseVacant {
+		return true
+	}
+	return now-l.lastChangeAt >= l.Cfg.TakeoverAfter
+}
+
+// TakeoverBid returns the CAS operands for a takeover attempt:
+// compare is the last observed word, swap installs this replica with
+// the next epoch and a fresh heartbeat.
+func (l *Lease) TakeoverBid() (compare, swap uint64) {
+	_, epoch, _ := wire.UnpackLeaseWord(l.lastWord)
+	return l.lastWord, wire.PackLeaseWord(l.Me, epoch+1, 0)
+}
+
+// TakeoverWon records a successful takeover CAS completing at now.
+func (l *Lease) TakeoverWon(now sim.Time) {
+	_, epoch, _ := wire.UnpackLeaseWord(l.lastWord)
+	l.role = RolePrimary
+	l.epoch = epoch + 1
+	l.heartbeat = 0
+	l.validUntil = now + l.Cfg.TTL
+	l.lastWord = wire.PackLeaseWord(l.Me, l.epoch, 0)
+	l.lastChangeAt = now
+	l.Takeovers++
+	if l.OnAcquire != nil {
+		l.OnAcquire(l.epoch, now, l.validUntil)
+	}
+}
+
+// TakeoverLost records a failed takeover CAS: another replica moved
+// the word first. prev is the value the CAS observed; patience resets
+// from it.
+func (l *Lease) TakeoverLost(prev uint64, now sim.Time) {
+	l.lastWord = prev
+	l.lastChangeAt = now
+	l.seen = true
+}
+
+// RenewBid returns the CAS operands for a heartbeat renewal.
+func (l *Lease) RenewBid() (compare, swap uint64) {
+	return wire.PackLeaseWord(l.Me, l.epoch, l.heartbeat),
+		wire.PackLeaseWord(l.Me, l.epoch, l.heartbeat+1)
+}
+
+// RenewWon records a successful renewal CAS completing at now,
+// extending validity by TTL. A primary whose validity lapsed during a
+// transport outage revalidates here — safe, because the successful CAS
+// proves nobody took the epoch meanwhile.
+func (l *Lease) RenewWon(now sim.Time) {
+	l.heartbeat++
+	l.validUntil = now + l.Cfg.TTL
+	l.lastWord = wire.PackLeaseWord(l.Me, l.epoch, l.heartbeat)
+	l.lastChangeAt = now
+	l.Renewals++
+	if l.OnRenew != nil {
+		l.OnRenew(l.epoch, now, l.validUntil)
+	}
+}
+
+// RenewLost records a failed renewal CAS: the word moved to a newer
+// epoch, so this replica has been deposed and must stop dispatching —
+// the epoch fence. prev is the word the CAS observed.
+func (l *Lease) RenewLost(prev uint64, now sim.Time) {
+	deposed := l.epoch
+	l.role = RoleFollower
+	if l.validUntil > now {
+		l.validUntil = now
+	}
+	l.lastWord = prev
+	l.lastChangeAt = now
+	l.seen = true
+	l.Deposals++
+	if l.OnDepose != nil {
+		l.OnDepose(deposed, now)
+	}
+}
+
+func (l *Lease) String() string {
+	return fmt.Sprintf("lease[%d] %s epoch=%d hb=%d until=%v",
+		l.Me, l.role, l.epoch, l.heartbeat, l.validUntil)
+}
+
+// LeaseVault hosts the lease word and the descriptive lease record in
+// writable registered regions on the witness node. After registration
+// the witness CPU plays no part in the protocol: acquisition, renewal
+// and observation are all one-sided.
+type LeaseVault struct {
+	word   []byte
+	rec    []byte
+	WordMR *simnet.MR
+	RecMR  *simnet.MR
+}
+
+// NewLeaseVault registers the lease regions on the witness NIC.
+func NewLeaseVault(nic *simnet.NIC) *LeaseVault {
+	v := &LeaseVault{
+		word: make([]byte, wire.LeaseWordSize),
+		rec:  make([]byte, wire.LeaseRecordSize),
+	}
+	v.WordMR = nic.RegisterWritableMR(simnet.StaticSource(v.word), len(v.word),
+		func(b []byte) { copy(v.word, b) })
+	v.RecMR = nic.RegisterWritableMR(simnet.StaticSource(v.rec), len(v.rec),
+		func(b []byte) { copy(v.rec, b) })
+	return v
+}
+
+// Word returns the current lease word (test and exporter
+// introspection; replicas read it over RDMA).
+func (v *LeaseVault) Word() uint64 { return binary.LittleEndian.Uint64(v.word) }
+
+// Record decodes the descriptive lease record, if one has been
+// written.
+func (v *LeaseVault) Record() (wire.LeaseRecord, error) { return wire.DecodeLease(v.rec) }
+
+// LeaseManager drives one replica's lease machine over the fabric: a
+// task that renews while primary and observes/bids while follower,
+// every CheckEvery.
+type LeaseManager struct {
+	Lease *Lease
+
+	node    *simos.Node
+	nic     *simnet.NIC
+	witness int
+	wordKey uint32
+	recKey  uint32
+
+	// CASErrors / ReadErrors count transport failures (timeouts during
+	// partitions or witness downtime); the protocol just retries next
+	// cycle and lets validity lapse.
+	CASErrors  uint64
+	ReadErrors uint64
+
+	task    *simos.Task
+	stopped bool
+}
+
+// StartLeaseManager spawns the lease task for replica me on node. The
+// lease word and record live on the witness node under the given keys.
+func StartLeaseManager(node *simos.Node, nic *simnet.NIC, witness int, wordKey, recKey uint32, me uint16, cfg LeaseConfig) *LeaseManager {
+	m := &LeaseManager{
+		Lease:   NewLease(me, cfg),
+		node:    node,
+		nic:     nic,
+		witness: witness,
+		wordKey: wordKey,
+		recKey:  recKey,
+	}
+	m.task = node.Spawn(fmt.Sprintf("lease-mgr-%d", me), func(tk *simos.Task) {
+		var step func()
+		next := func() { tk.Sleep(m.Lease.Cfg.CheckEvery, step) }
+		step = func() {
+			if m.stopped {
+				tk.Exit()
+				return
+			}
+			if m.Lease.Role() == RolePrimary {
+				cmp, swp := m.Lease.RenewBid()
+				// Validity is stamped from the instant the CAS is POSTED,
+				// not from when its completion is observed: a host frozen
+				// between post and completion would otherwise thaw, see a
+				// stale success, and extend a lease whose word-change the
+				// standbys observed (and timed out) long ago — the exact
+				// split-brain window the chaos harness caught.
+				posted := node.Eng.Now()
+				m.nic.RDMACompareSwap(tk, m.witness, m.wordKey, cmp, swp, func(prev uint64, err error) {
+					switch {
+					case err != nil:
+						m.CASErrors++
+					case prev == cmp:
+						m.Lease.RenewWon(posted)
+					default:
+						m.Lease.RenewLost(prev, posted)
+					}
+					next()
+				})
+				return
+			}
+			m.nic.RDMARead(tk, m.witness, m.wordKey, wire.LeaseWordSize, func(data []byte, err error) {
+				if err != nil {
+					m.ReadErrors++
+					next()
+					return
+				}
+				word := binary.LittleEndian.Uint64(data)
+				if !m.Lease.Observe(word, node.Eng.Now()) {
+					next()
+					return
+				}
+				cmp, swp := m.Lease.TakeoverBid()
+				posted := node.Eng.Now() // see the renewal path
+				m.nic.RDMACompareSwap(tk, m.witness, m.wordKey, cmp, swp, func(prev uint64, err error) {
+					switch {
+					case err != nil:
+						m.CASErrors++
+						next()
+					case prev == cmp:
+						m.Lease.TakeoverWon(posted)
+						m.publishRecord(tk, posted, next)
+					default:
+						m.Lease.TakeoverLost(prev, posted)
+						next()
+					}
+				})
+			})
+		}
+		step()
+	})
+	return m
+}
+
+// publishRecord writes the descriptive lease record after winning an
+// epoch. It is observability only — a write failure does not affect
+// primaryship.
+func (m *LeaseManager) publishRecord(tk *simos.Task, now sim.Time, then func()) {
+	rec := wire.LeaseRecord{
+		Holder:  m.Lease.Me,
+		Epoch:   m.Lease.Epoch(),
+		GrantNS: int64(now),
+		TTLNS:   int64(m.Lease.Cfg.TTL),
+	}
+	m.nic.RDMAWrite(tk, m.witness, m.recKey, rec.Encode(), func(error) { then() })
+}
+
+// Stop ends the lease task (a crashing replica's tasks die with the
+// node; Stop is for controlled teardown).
+func (m *LeaseManager) Stop() {
+	m.stopped = true
+	if m.task != nil {
+		m.task.Exit()
+	}
+}

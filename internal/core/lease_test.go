@@ -1,0 +1,333 @@
+package core
+
+import (
+	"testing"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simnet"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+func leaseCfg() LeaseConfig {
+	// poll=50ms defaults: CheckEvery=100ms, TTL=300ms, TakeoverAfter=500ms.
+	return LeaseConfig{}.WithDefaults(DefaultInterval)
+}
+
+func TestLeaseConfigDefaultsEnforceSafetyMargin(t *testing.T) {
+	c := leaseCfg()
+	if c.TakeoverAfter <= c.TTL {
+		t.Fatalf("TakeoverAfter %v must exceed TTL %v", c.TakeoverAfter, c.TTL)
+	}
+	// An unsafe explicit config is repaired, not honored.
+	bad := LeaseConfig{TTL: 10 * sim.Second, TakeoverAfter: sim.Second, CheckEvery: sim.Second}.WithDefaults(0)
+	if bad.TakeoverAfter < bad.TTL+2*bad.CheckEvery {
+		t.Fatalf("sanitizer kept unsafe TakeoverAfter %v for TTL %v", bad.TakeoverAfter, bad.TTL)
+	}
+}
+
+// TestLeaseMachine drives the pure state machine through the
+// protocol's step outcomes and checks role, epoch, validity and
+// counters after each step.
+func TestLeaseMachine(t *testing.T) {
+	cfg := leaseCfg()
+	type step struct {
+		name string
+		at   sim.Time
+		do   func(l *Lease, at sim.Time) // one protocol outcome
+		role LeaseRole
+		// wantValidAt / wantInvalidAt probe Valid() at specific times.
+		validAt   sim.Time
+		invalidAt sim.Time
+		epoch     uint16
+	}
+	observe := func(word uint64, wantBid bool) func(*Lease, sim.Time) {
+		return func(l *Lease, at sim.Time) {
+			if got := l.Observe(word, at); got != wantBid {
+				t.Fatalf("Observe(%#x, %v) = %v, want %v", word, at, got, wantBid)
+			}
+		}
+	}
+	steps := []step{
+		{
+			name: "vacant word invites an immediate bid",
+			at:   0,
+			do:   observe(wire.LeaseVacant, true),
+			role: RoleFollower, invalidAt: 0,
+		},
+		{
+			name: "takeover won: primary of epoch 1, valid for TTL",
+			at:   10 * sim.Millisecond,
+			do:   func(l *Lease, at sim.Time) { l.TakeoverWon(at) },
+			role: RolePrimary, epoch: 1,
+			validAt:   10*sim.Millisecond + cfg.TTL - 1,
+			invalidAt: 10*sim.Millisecond + cfg.TTL,
+		},
+		{
+			name: "renewal extends validity",
+			at:   100 * sim.Millisecond,
+			do:   func(l *Lease, at sim.Time) { l.RenewWon(at) },
+			role: RolePrimary, epoch: 1,
+			validAt:   100*sim.Millisecond + cfg.TTL - 1,
+			invalidAt: 100*sim.Millisecond + cfg.TTL,
+		},
+		{
+			name: "expiry without renewal: still primary, but fenced by Valid",
+			at:   100*sim.Millisecond + cfg.TTL,
+			do:   func(l *Lease, at sim.Time) {},
+			role: RolePrimary, epoch: 1,
+			invalidAt: 100*sim.Millisecond + cfg.TTL,
+		},
+		{
+			name: "late renewal with no interloper revalidates",
+			at:   sim.Second,
+			do:   func(l *Lease, at sim.Time) { l.RenewWon(at) },
+			role: RolePrimary, epoch: 1,
+			validAt: sim.Second + cfg.TTL/2,
+		},
+		{
+			name: "renewal lost: deposed immediately (fencing)",
+			at:   sim.Second + 100*sim.Millisecond,
+			do: func(l *Lease, at sim.Time) {
+				l.RenewLost(wire.PackLeaseWord(2, 2, 0), at)
+			},
+			role: RoleFollower, epoch: 1,
+			invalidAt: sim.Second + 100*sim.Millisecond,
+		},
+		{
+			name: "held word needs TakeoverAfter of silence before a bid",
+			at:   2 * sim.Second,
+			do:   observe(wire.PackLeaseWord(2, 2, 5), false),
+			role: RoleFollower,
+		},
+		{
+			name: "still quiet but not long enough",
+			at:   2*sim.Second + cfg.TakeoverAfter - 1,
+			do:   observe(wire.PackLeaseWord(2, 2, 5), false),
+			role: RoleFollower,
+		},
+		{
+			name: "a changed word resets patience",
+			at:   2*sim.Second + cfg.TakeoverAfter,
+			do:   observe(wire.PackLeaseWord(2, 2, 6), false),
+			role: RoleFollower,
+		},
+		{
+			name: "unchanged for TakeoverAfter: bid",
+			at:   2*sim.Second + 2*cfg.TakeoverAfter,
+			do:   observe(wire.PackLeaseWord(2, 2, 6), true),
+			role: RoleFollower,
+		},
+		{
+			name: "takeover lost to a racing standby",
+			at:   2*sim.Second + 2*cfg.TakeoverAfter + sim.Millisecond,
+			do: func(l *Lease, at sim.Time) {
+				l.TakeoverLost(wire.PackLeaseWord(3, 3, 0), at)
+			},
+			role: RoleFollower,
+		},
+		{
+			name: "new holder's word must go quiet again before the next bid",
+			at:   2*sim.Second + 2*cfg.TakeoverAfter + 2*sim.Millisecond,
+			do:   observe(wire.PackLeaseWord(3, 3, 0), false),
+			role: RoleFollower,
+		},
+		{
+			name: "second takeover: epoch continues from the observed word",
+			at:   4 * sim.Second,
+			do: func(l *Lease, at sim.Time) {
+				if !l.Observe(wire.PackLeaseWord(3, 3, 0), at+cfg.TakeoverAfter) {
+					t.Fatal("expected bid after silence")
+				}
+				cmp, swp := l.TakeoverBid()
+				if cmp != wire.PackLeaseWord(3, 3, 0) {
+					t.Fatalf("takeover compare = %#x", cmp)
+				}
+				h, e, hb := wire.UnpackLeaseWord(swp)
+				if h != l.Me || e != 4 || hb != 0 {
+					t.Fatalf("takeover swap = (%d,%d,%d), want (%d,4,0)", h, e, hb, l.Me)
+				}
+				l.TakeoverWon(at + cfg.TakeoverAfter)
+			},
+			role: RolePrimary, epoch: 4,
+			validAt: 4*sim.Second + cfg.TakeoverAfter + cfg.TTL - 1,
+		},
+	}
+
+	l := NewLease(1, cfg)
+	for _, s := range steps {
+		s.do(l, s.at)
+		if l.Role() != s.role {
+			t.Fatalf("%s: role = %v, want %v", s.name, l.Role(), s.role)
+		}
+		if s.epoch != 0 && l.Epoch() != s.epoch {
+			t.Fatalf("%s: epoch = %d, want %d", s.name, l.Epoch(), s.epoch)
+		}
+		if s.validAt != 0 && !l.Valid(s.validAt) {
+			t.Fatalf("%s: Valid(%v) = false, want true", s.name, s.validAt)
+		}
+		if s.invalidAt != 0 && l.Valid(s.invalidAt) {
+			t.Fatalf("%s: Valid(%v) = true, want false", s.name, s.invalidAt)
+		}
+	}
+	if l.Takeovers != 2 || l.Renewals != 2 || l.Deposals != 1 {
+		t.Fatalf("counters takeovers=%d renewals=%d deposals=%d, want 2/2/1",
+			l.Takeovers, l.Renewals, l.Deposals)
+	}
+}
+
+func TestLeaseRenewBidOperands(t *testing.T) {
+	l := NewLease(2, leaseCfg())
+	l.Observe(wire.LeaseVacant, 0)
+	l.TakeoverWon(0)
+	cmp, swp := l.RenewBid()
+	if cmp != wire.PackLeaseWord(2, 1, 0) || swp != wire.PackLeaseWord(2, 1, 1) {
+		t.Fatalf("renew bid = (%#x, %#x)", cmp, swp)
+	}
+	l.RenewWon(sim.Millisecond)
+	cmp, swp = l.RenewBid()
+	if cmp != wire.PackLeaseWord(2, 1, 1) || swp != wire.PackLeaseWord(2, 1, 2) {
+		t.Fatalf("renew bid after renewal = (%#x, %#x)", cmp, swp)
+	}
+}
+
+// leaseRig wires replicas and a witness over a real fabric.
+type leaseRig struct {
+	eng     *sim.Engine
+	fab     *simnet.Fabric
+	witness *simos.Node
+	vault   *LeaseVault
+	mgrs    []*LeaseManager
+	nodes   []*simos.Node
+}
+
+func newLeaseRig(t *testing.T, replicas int, cfg LeaseConfig) *leaseRig {
+	t.Helper()
+	r := &leaseRig{eng: sim.NewEngine(7)}
+	r.fab = simnet.NewFabric(r.eng, simnet.Defaults())
+	wn := simos.NewNode(r.eng, 100, simos.NodeDefaults())
+	wnic := r.fab.Attach(wn)
+	r.witness = wn
+	r.vault = NewLeaseVault(wnic)
+	for i := 0; i < replicas; i++ {
+		n := simos.NewNode(r.eng, i+1, simos.NodeDefaults())
+		nic := r.fab.Attach(n)
+		r.nodes = append(r.nodes, n)
+		r.mgrs = append(r.mgrs, StartLeaseManager(n, nic, 100,
+			r.vault.WordMR.Key(), r.vault.RecMR.Key(), uint16(i+1), cfg))
+	}
+	return r
+}
+
+// TestLeaseManagerAcquireRenewHandoff runs two replicas end to end:
+// one acquires, holds through renewals, then crashes; the other takes
+// over within TakeoverAfter plus a few check cycles, and the thawed
+// original is fenced on its first renewal.
+func TestLeaseManagerAcquireRenewHandoff(t *testing.T) {
+	cfg := leaseCfg()
+	r := newLeaseRig(t, 2, cfg)
+	r.eng.RunFor(sim.Second)
+
+	var primary, standby int
+	switch {
+	case r.mgrs[0].Lease.Role() == RolePrimary && r.mgrs[1].Lease.Role() == RoleFollower:
+		primary, standby = 0, 1
+	case r.mgrs[1].Lease.Role() == RolePrimary && r.mgrs[0].Lease.Role() == RoleFollower:
+		primary, standby = 1, 0
+	default:
+		t.Fatalf("want exactly one primary: %v / %v", r.mgrs[0].Lease, r.mgrs[1].Lease)
+	}
+	if r.mgrs[primary].Lease.Renewals == 0 {
+		t.Fatal("primary never renewed")
+	}
+	if !r.mgrs[primary].Lease.Valid(r.eng.Now()) {
+		t.Fatal("steady-state primary must be valid")
+	}
+	rec, err := r.vault.Record()
+	if err != nil {
+		t.Fatalf("lease record: %v", err)
+	}
+	if rec.Holder != r.mgrs[primary].Lease.Me || rec.Epoch != r.mgrs[primary].Lease.Epoch() {
+		t.Fatalf("published record %v does not match primary %v", rec, r.mgrs[primary].Lease)
+	}
+
+	// Freeze the primary's host: renewals stop, validity lapses, the
+	// standby seizes a new epoch within TakeoverAfter + a few checks.
+	frozeAt := r.eng.Now()
+	r.nodes[primary].Freeze()
+	r.eng.RunFor(cfg.TakeoverAfter + 4*cfg.CheckEvery)
+	if r.mgrs[standby].Lease.Role() != RolePrimary {
+		t.Fatalf("standby did not take over: %v", r.mgrs[standby].Lease)
+	}
+	if got := r.mgrs[standby].Lease.Epoch(); got != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", got)
+	}
+	// The frozen primary's validity lapsed before the new epoch began.
+	if r.mgrs[primary].Lease.ValidUntil() > frozeAt+cfg.TTL {
+		t.Fatal("frozen primary's validity extended impossibly")
+	}
+
+	// Thaw the old primary: its next renewal CAS fails (epoch moved)
+	// and it must step down — the fencing path.
+	r.nodes[primary].Thaw()
+	r.eng.RunFor(4 * cfg.CheckEvery)
+	if r.mgrs[primary].Lease.Role() != RoleFollower {
+		t.Fatalf("thawed ex-primary not deposed: %v", r.mgrs[primary].Lease)
+	}
+	if r.mgrs[primary].Lease.Deposals != 1 {
+		t.Fatalf("deposals = %d, want 1", r.mgrs[primary].Lease.Deposals)
+	}
+	if r.mgrs[primary].Lease.Valid(r.eng.Now()) {
+		t.Fatal("deposed replica must not be valid")
+	}
+}
+
+// TestLeaseManagerWitnessPartition cuts the primary off from the
+// witness: its validity lapses (so it stops dispatching) but it keeps
+// bidding; with the standby also partitioned no epoch changes, and on
+// heal the primary revalidates under the same epoch.
+func TestLeaseManagerWitnessPartition(t *testing.T) {
+	cfg := leaseCfg()
+	r := newLeaseRig(t, 2, cfg)
+	r.eng.RunFor(sim.Second)
+	var pm *LeaseManager
+	for _, m := range r.mgrs {
+		if m.Lease.Role() == RolePrimary {
+			pm = m
+		}
+	}
+	if pm == nil {
+		t.Fatal("no primary")
+	}
+	epoch := pm.Lease.Epoch()
+
+	// Partition everyone from the witness.
+	r.fab.SetFaults(partitionAll{})
+	r.eng.RunFor(2 * cfg.TakeoverAfter)
+	if pm.Lease.Valid(r.eng.Now()) {
+		t.Fatal("partitioned primary must not remain valid")
+	}
+	if pm.CASErrors == 0 {
+		t.Fatal("renewal attempts should be failing")
+	}
+
+	r.fab.SetFaults(nil)
+	r.eng.RunFor(4 * cfg.CheckEvery)
+	if !pm.Lease.Valid(r.eng.Now()) {
+		t.Fatal("healed primary should revalidate")
+	}
+	if pm.Lease.Epoch() != epoch {
+		t.Fatalf("epoch moved across a full partition: %d -> %d", epoch, pm.Lease.Epoch())
+	}
+}
+
+// partitionAll fails every RDMA operation (and delivers channel sends
+// normally, which the lease path does not use).
+type partitionAll struct{}
+
+func (partitionAll) Channel(from, to, size int) simnet.ChannelVerdict {
+	return simnet.ChannelVerdict{}
+}
+func (partitionAll) RDMA(from, to int) simnet.RDMAVerdict {
+	return simnet.RDMAVerdict{Fail: true}
+}

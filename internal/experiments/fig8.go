@@ -110,6 +110,10 @@ func fig8Point(o Options, s core.Scheme, granMS int) (r struct{ maxS, maxB, p99S
 	}
 	gmMon := core.StartMonitor(c.Front, c.FNIC, gmAgents, T)
 	g.WireFineGrained(gmMon)
+	// Status channel: health/transport transitions ride the same
+	// gmetric path as the load records (change-driven, so a stable
+	// cluster pays one packet per back-end).
+	g.WireStatus(gmMon, 0)
 
 	pool := c.StartRUBiS(256, 55*sim.Millisecond, o.seed()+81)
 	warm := 2 * sim.Second

@@ -30,6 +30,24 @@ type ChaosConfig struct {
 	// MRInvalidations is how many memory-region revocations to schedule,
 	// on back-ends distinct from the crashed ones (default 2).
 	MRInvalidations int
+
+	// FrontEnds lists front-end replica node IDs eligible for
+	// front-end faults. Empty disables them entirely — and, because
+	// front-end draws happen strictly after every back-end draw, a
+	// config without FrontEnds consumes exactly the RNG stream it did
+	// before HA existed, keeping historical plans bit-identical.
+	FrontEnds []int
+	// Witness is the lease witness node ID (the target of front-end
+	// partition windows).
+	Witness int
+	// FECrashes, FEFreezes and FEPartitions count front-end fault
+	// windows (each defaults to 1 when FrontEnds is non-empty).
+	// Victims are distinct across all three kinds, so with three
+	// replicas at most two are ever disturbed at once and a standby
+	// remains to take the lease.
+	FECrashes    int
+	FEFreezes    int
+	FEPartitions int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -47,6 +65,17 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if c.Crashes > c.Backends {
 		c.Crashes = c.Backends
+	}
+	if len(c.FrontEnds) > 0 {
+		if c.FECrashes == 0 {
+			c.FECrashes = 1
+		}
+		if c.FEFreezes == 0 {
+			c.FEFreezes = 1
+		}
+		if c.FEPartitions == 0 {
+			c.FEPartitions = 1
+		}
 	}
 	return c
 }
@@ -135,6 +164,60 @@ func RandomPlan(seed int64, cfg ChaosConfig) Plan {
 			Node: alive[rng.Intn(len(alive))],
 			At:   t(0.10, 0.50),
 		})
+	}
+
+	// Front-end faults (HA clusters): distinct victims, one fault kind
+	// per phase of the run — crash early, freeze mid-run, partition
+	// late — so each lease handoff is observable in isolation and the
+	// quiet tail still sees the last takeover settle.
+	if len(cfg.FrontEnds) > 0 {
+		order := rng.Perm(len(cfg.FrontEnds))
+		next := 0
+		take := func() (int, bool) {
+			if next >= len(order) {
+				return 0, false
+			}
+			id := cfg.FrontEnds[order[next]]
+			next++
+			return id, true
+		}
+		for i := 0; i < cfg.FECrashes; i++ {
+			fe, ok := take()
+			if !ok {
+				break
+			}
+			at := t(0.10, 0.28)
+			plan.Crashes = append(plan.Crashes, Crash{
+				Node: fe, At: at, RestartAt: at + t(0.10, 0.18),
+			})
+		}
+		for i := 0; i < cfg.FEFreezes; i++ {
+			fe, ok := take()
+			if !ok {
+				break
+			}
+			at := t(0.36, 0.48)
+			plan.Freezes = append(plan.Freezes, Freeze{
+				Node: fe, At: at, Until: at + t(0.08, 0.14),
+			})
+		}
+		// Partition the victim from the witness only: it keeps serving
+		// clients and probing back-ends, but cannot renew — the pure
+		// epoch-fencing scenario (a split brain if the fence leaks).
+		for i := 0; i < cfg.FEPartitions; i++ {
+			fe, ok := take()
+			if !ok {
+				break
+			}
+			start := t(0.56, 0.66)
+			end := start + t(0.08, 0.14)
+			if lim := sim.Time(0.80 * h); end > lim {
+				end = lim
+			}
+			plan.Partitions = append(plan.Partitions, Partition{
+				Start: start, End: end, A: []int{fe}, B: []int{cfg.Witness},
+			})
+		}
 	}
 	return plan
 }

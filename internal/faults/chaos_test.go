@@ -102,6 +102,75 @@ func TestRandomPlanBounds(t *testing.T) {
 	}
 }
 
+// TestRandomPlanFrontEndFaults checks the HA extension: enabling
+// front-end faults leaves the back-end portion of the plan bit-identical
+// (the FE draws happen strictly after every pre-existing draw), and the
+// appended faults hit distinct replicas in staggered windows so a
+// standby always survives to take the lease.
+func TestRandomPlanFrontEndFaults(t *testing.T) {
+	base := ChaosConfig{Backends: 8, Horizon: 20 * sim.Second}
+	ha := base
+	ha.FrontEnds = []int{0, 9, 10}
+	ha.Witness = 11
+	h := ha.Horizon
+
+	for seed := int64(0); seed < 200; seed++ {
+		old := RandomPlan(seed, base)
+		p := RandomPlan(seed, ha)
+
+		// Back-end faults must be untouched — historical plans replay
+		// bit-identically under the extended config schema.
+		if !reflect.DeepEqual(old.Crashes, p.Crashes[:len(old.Crashes)]) ||
+			!reflect.DeepEqual(old.Links, p.Links) ||
+			!reflect.DeepEqual(old.Partitions, p.Partitions[:len(old.Partitions)]) ||
+			!reflect.DeepEqual(old.MRInvalidations, p.MRInvalidations) {
+			t.Fatalf("seed %d: enabling front-end faults perturbed the back-end plan", seed)
+		}
+		if len(old.Freezes) != 0 {
+			t.Fatalf("seed %d: non-HA plan has freezes", seed)
+		}
+
+		feCrashes := p.Crashes[len(old.Crashes):]
+		fePartitions := p.Partitions[len(old.Partitions):]
+		if len(feCrashes) != 1 || len(p.Freezes) != 1 || len(fePartitions) != 1 {
+			t.Fatalf("seed %d: FE fault counts %d/%d/%d, want defaults 1/1/1",
+				seed, len(feCrashes), len(p.Freezes), len(fePartitions))
+		}
+
+		isFE := func(n int) bool { return n == 0 || n == 9 || n == 10 }
+		victims := make(map[int]bool)
+		for _, cr := range feCrashes {
+			if !isFE(cr.Node) {
+				t.Fatalf("seed %d: FE crash on non-replica node %d", seed, cr.Node)
+			}
+			victims[cr.Node] = true
+			if cr.At < sim.Time(0.10*float64(h)) || cr.RestartAt > sim.Time(0.46*float64(h)) {
+				t.Fatalf("seed %d: FE crash window [%v, %v] outside its phase", seed, cr.At, cr.RestartAt)
+			}
+		}
+		for _, fz := range p.Freezes {
+			if !isFE(fz.Node) || victims[fz.Node] {
+				t.Fatalf("seed %d: FE freeze victim %d invalid or repeated", seed, fz.Node)
+			}
+			victims[fz.Node] = true
+			if fz.At < sim.Time(0.36*float64(h)) || fz.Until > sim.Time(0.62*float64(h)) {
+				t.Fatalf("seed %d: FE freeze window [%v, %v] outside its phase", seed, fz.At, fz.Until)
+			}
+		}
+		for _, pa := range fePartitions {
+			if len(pa.A) != 1 || !isFE(pa.A[0]) || victims[pa.A[0]] {
+				t.Fatalf("seed %d: FE partition side A %v invalid or repeated victim", seed, pa.A)
+			}
+			if len(pa.B) != 1 || pa.B[0] != 11 {
+				t.Fatalf("seed %d: FE partition side B %v, want witness only", seed, pa.B)
+			}
+			if pa.Start < sim.Time(0.56*float64(h)) || pa.End > sim.Time(0.80*float64(h)) {
+				t.Fatalf("seed %d: FE partition window [%v, %v] outside its phase", seed, pa.Start, pa.End)
+			}
+		}
+	}
+}
+
 // TestRandomPlanCrashesCapped: asking for more crashes than back-ends
 // must clamp, not panic or repeat victims.
 func TestRandomPlanCrashesCapped(t *testing.T) {

@@ -13,6 +13,7 @@ package ganglia
 
 import (
 	"fmt"
+	"sort"
 
 	"rdmamon/internal/core"
 	"rdmamon/internal/sim"
@@ -212,6 +213,93 @@ func (s *System) WireFineGrained(mon *core.Monitor) {
 				s.Gmetric.Publish(rec)
 			}
 		}
+	}
+}
+
+// StatusMetric is the coarse health/failover/lease channel riding the
+// same gmetric path as the fine-grained load records: which transport
+// each back-end is being monitored over, what the monitor currently
+// thinks of its health, and which front-end replica holds which lease
+// epoch. Operators thereby see "node 5 went Degraded on the socket
+// path" or "replica 2 took the lease at epoch 3" in the same tool
+// that shows the load curves.
+type StatusMetric struct {
+	Kind      string // "backend" or "frontend"
+	Node      int    // back-end ID, or front-end replica node ID
+	Health    string // back-end health verdict ("" for front-ends)
+	Transport string // transport serving the back-end's probes ("" for front-ends)
+	Role      string // lease role ("" for back-ends)
+	Epoch     uint16 // lease epoch (0 for back-ends)
+}
+
+// WireStatus publishes each back-end's health verdict and active
+// monitoring transport to the ganglia group. The monitor is scanned
+// every `every` (PublishMinInterval when zero) and only *changes* are
+// published, so a stable cluster costs one packet per back-end at
+// start-up and a failover or quarantine costs one per transition.
+// Back-ends are scanned in ID order so the publication stream is
+// deterministic. Returns the ticker so callers can stop it.
+func (s *System) WireStatus(mon *core.Monitor, every sim.Time) *sim.Ticker {
+	if every <= 0 {
+		every = s.Cfg.PublishMinInterval
+	}
+	ids := make([]int, 0, len(mon.Probers))
+	for b := range mon.Probers {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	last := make(map[int]StatusMetric, len(ids))
+	return s.Gmetric.node.Eng.NewTicker(every, func() {
+		for _, b := range ids {
+			m := StatusMetric{
+				Kind:      "backend",
+				Node:      b,
+				Health:    mon.Health(b).String(),
+				Transport: mon.Probers[b].LastTransport.String(),
+			}
+			if last[b] != m {
+				last[b] = m
+				s.Gmetric.Publish(m)
+			}
+		}
+	})
+}
+
+// WireLease publishes a front-end replica's lease transitions:
+// acquisitions and deposals immediately, renewals rate-limited by
+// PublishMinInterval (a renewal fires every CheckEvery, which would
+// otherwise swamp the group just to say "still primary"). Hooks
+// already installed on the lease — the HA invariant checkers use the
+// same ones — are preserved.
+func (s *System) WireLease(node int, l *core.Lease) {
+	prevAcq, prevRen, prevDep := l.OnAcquire, l.OnRenew, l.OnDepose
+	var lastPub sim.Time = -1 << 62
+	minEvery := s.Cfg.PublishMinInterval
+	pub := func(role core.LeaseRole, epoch uint16) {
+		s.Gmetric.Publish(StatusMetric{Kind: "frontend", Node: node, Role: role.String(), Epoch: epoch})
+	}
+	l.OnAcquire = func(epoch uint16, now, validUntil sim.Time) {
+		if prevAcq != nil {
+			prevAcq(epoch, now, validUntil)
+		}
+		lastPub = now
+		pub(core.RolePrimary, epoch)
+	}
+	l.OnRenew = func(epoch uint16, now, validUntil sim.Time) {
+		if prevRen != nil {
+			prevRen(epoch, now, validUntil)
+		}
+		if now-lastPub >= minEvery {
+			lastPub = now
+			pub(core.RolePrimary, epoch)
+		}
+	}
+	l.OnDepose = func(epoch uint16, now sim.Time) {
+		if prevDep != nil {
+			prevDep(epoch, now)
+		}
+		lastPub = now
+		pub(core.RoleFollower, epoch)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"rdmamon/internal/sim"
 	"rdmamon/internal/simnet"
 	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
 )
 
 type rig struct {
@@ -116,6 +117,58 @@ func TestStopSilencesGroup(t *testing.T) {
 	r.eng.RunUntil(3 * sim.Second)
 	if s.Gmetric.Published > pubs {
 		t.Fatal("gmetric kept publishing after Stop")
+	}
+}
+
+func TestWireStatusPublishesChangesOnly(t *testing.T) {
+	r := newRig(4)
+	cfg := Defaults()
+	cfg.Interval = 10 * sim.Second // silence gmond's own traffic
+	s := Deploy(r.fab, r.nodes, r.nics, cfg)
+	agents := []*core.Agent{
+		core.StartAgent(r.nodes[1], r.nics[1], core.AgentConfig{Scheme: core.RDMASync}),
+		core.StartAgent(r.nodes[2], r.nics[2], core.AgentConfig{Scheme: core.RDMASync}),
+	}
+	mon := core.StartMonitor(r.nodes[0], r.nics[0], agents, 20*sim.Millisecond)
+	s.WireStatus(mon, 20*sim.Millisecond)
+	r.eng.RunUntil(sim.Second)
+	// One publication per back-end at start-up, then silence: the
+	// cluster is stable, so every later scan finds nothing changed.
+	if s.Gmetric.Published != 2 {
+		t.Fatalf("published = %d, want 2 (one per back-end, change-driven)", s.Gmetric.Published)
+	}
+	// A transport change is one more publication. Stop the monitor so
+	// the next probe does not flap the transport straight back.
+	mon.Stop()
+	mon.Probers[agents[0].Node().ID].LastTransport = core.TransportSocket
+	r.eng.RunUntil(2 * sim.Second)
+	if s.Gmetric.Published != 3 {
+		t.Fatalf("published = %d, want 3 after one transport change", s.Gmetric.Published)
+	}
+}
+
+func TestWireLeasePublishesTransitions(t *testing.T) {
+	r := newRig(3)
+	cfg := Defaults()
+	cfg.Interval = 10 * sim.Second
+	s := Deploy(r.fab, r.nodes, r.nics, cfg)
+	l := core.NewLease(1, core.LeaseConfig{}.WithDefaults(50*sim.Millisecond))
+	// Pre-existing hooks must survive the wiring.
+	var hooked int
+	l.OnAcquire = func(uint16, sim.Time, sim.Time) { hooked++ }
+	s.WireLease(r.nodes[0].ID, l)
+
+	l.TakeoverWon(sim.Second)                              // acquire epoch 1 -> publish
+	l.RenewWon(1020 * sim.Millisecond)                     // 20ms later: rate-limited out
+	l.RenewWon(1100 * sim.Millisecond)                     // past the min interval -> publish
+	l.RenewLost(wire.PackLeaseWord(2, 2, 0), 2*sim.Second) // deposed -> publish
+	r.eng.RunUntil(3 * sim.Second)
+
+	if hooked != 1 {
+		t.Fatalf("pre-existing OnAcquire hook ran %d times, want 1", hooked)
+	}
+	if s.Gmetric.Published != 3 {
+		t.Fatalf("published = %d, want 3 (acquire, one renewal, depose)", s.Gmetric.Published)
 	}
 }
 

@@ -46,6 +46,10 @@ type Reply struct {
 	Backend int
 	// Rejected marks a request turned away by admission control.
 	Rejected bool
+	// NotPrimary marks a request refused because the dispatcher does
+	// not hold a valid lease epoch; the client should retry against
+	// another front-end replica.
+	NotPrimary bool
 }
 
 // ServerConfig configures a back-end server.
@@ -150,6 +154,13 @@ type Dispatcher struct {
 	// policy evaluation).
 	DecisionCost sim.Time
 
+	// Fence, if set, is consulted per request before anything else: a
+	// false return means this dispatcher does not hold a valid lease
+	// epoch and must not route — the client gets a NotPrimary reply
+	// and retries elsewhere. This is what makes a deposed or
+	// frozen-then-thawed primary harmless (no split-brain routing).
+	Fence func() bool
+
 	// Admission, if set, is consulted per request; a false return
 	// rejects the request immediately (the client gets a Rejected
 	// reply instead of service).
@@ -160,7 +171,9 @@ type Dispatcher struct {
 	// dispatch-to-crashed-node violations here).
 	OnRoute func(backend int)
 
-	Routed  uint64
+	Routed uint64
+	// Fenced counts requests refused by the lease fence.
+	Fenced  uint64
 	ByNode  map[int]uint64
 	stopped bool
 	task    *simos.Task
@@ -205,6 +218,14 @@ func StartDispatcherOn(node *simos.Node, nic *simnet.NIC, policy loadbalance.Pol
 				return
 			}
 			tk.Compute(d.DecisionCost, func() {
+				if d.Fence != nil && !d.Fence() {
+					d.Fenced++
+					nak := Reply{ID: req.ID, Class: req.Class, Issued: req.Issued, NotPrimary: true}
+					d.nic.Send(tk, req.Client, "", 256, nak, func() {
+						tk.Recv(d.port, serve)
+					})
+					return
+				}
 				if d.Admission != nil && !d.Admission() {
 					rej := Reply{ID: req.ID, Class: req.Class, Issued: req.Issued, Rejected: true}
 					d.nic.Send(tk, req.Client, "", 256, rej, func() {

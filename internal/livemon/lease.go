@@ -1,0 +1,293 @@
+package livemon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/tcpverbs"
+	"rdmamon/internal/wire"
+)
+
+// portLease is the control endpoint handing out the lease region keys.
+const portLease = "rmon-lease"
+
+// leaseVault is the agent-side (witness) home of the lease word and the
+// descriptive lease record: two writable regions mutated exclusively by
+// remote one-sided operations. After registration the agent application
+// plays no part in the protocol — renewals and takeovers are served by
+// the transport's responder, exactly like the load regions.
+type leaseVault struct {
+	mu     sync.Mutex
+	word   []byte
+	rec    []byte
+	wordMR *tcpverbs.MR
+	recMR  *tcpverbs.MR
+}
+
+func (a *Agent) hostLease() {
+	v := &leaseVault{
+		word: make([]byte, wire.LeaseWordSize),
+		rec:  make([]byte, wire.LeaseRecordSize),
+	}
+	a.vault = v
+	v.wordMR = a.verbs.RegisterWritableMR(func() []byte {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return append([]byte(nil), v.word...)
+	}, len(v.word), func(b []byte) {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		copy(v.word, b)
+	})
+	v.recMR = a.verbs.RegisterWritableMR(func() []byte {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return append([]byte(nil), v.rec...)
+	}, len(v.rec), func(b []byte) {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		copy(v.rec, b)
+	})
+	a.verbs.HandleCall(portLease, func([]byte) []byte {
+		keys := make([]byte, 8)
+		binary.BigEndian.PutUint32(keys[0:], v.wordMR.Key())
+		binary.BigEndian.PutUint32(keys[4:], v.recMR.Key())
+		return keys
+	})
+}
+
+// LeaseWord returns the current lease word hosted by this agent (zero
+// unless Config.HostLease was set). Introspection only; front-ends
+// mutate it with one-sided compare-and-swap.
+func (a *Agent) LeaseWord() uint64 {
+	if a.vault == nil {
+		return 0
+	}
+	a.vault.mu.Lock()
+	defer a.vault.mu.Unlock()
+	return binary.LittleEndian.Uint64(a.vault.word)
+}
+
+// LeaseRecord returns the descriptive lease record published by the
+// current holder, if any.
+func (a *Agent) LeaseRecord() (wire.LeaseRecord, error) {
+	if a.vault == nil {
+		return wire.LeaseRecord{}, fmt.Errorf("livemon: agent hosts no lease")
+	}
+	a.vault.mu.Lock()
+	raw := append([]byte(nil), a.vault.rec...)
+	a.vault.mu.Unlock()
+	return wire.DecodeLease(raw)
+}
+
+// LeaseClient drives one front-end's lease machine against a live
+// witness agent, mirroring core.LeaseManager over tcpverbs instead of
+// the simulated fabric. Time is this process's monotonic clock; the
+// protocol never compares clocks across machines (see internal/core's
+// lease safety argument).
+type LeaseClient struct {
+	conn    *tcpverbs.Conn
+	wordKey uint32
+	recKey  uint32
+	start   time.Time
+
+	mu    sync.Mutex
+	lease *core.Lease
+
+	// CASErrors / ReadErrors count transport failures; the protocol
+	// retries next cycle and lets validity lapse meanwhile.
+	CASErrors  uint64
+	ReadErrors uint64
+
+	paused bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// DialLease connects replica me to the lease hosted on the witness
+// agent at addr. cfg durations are virtual-time valued but interpreted
+// as wall-clock nanoseconds here; the zero value takes defaults derived
+// from a 50ms poll.
+func DialLease(addr string, me uint16, cfg core.LeaseConfig) (*LeaseClient, error) {
+	conn, err := tcpverbs.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := conn.Call(portLease, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("livemon: lease key exchange: %w", err)
+	}
+	if len(keys) < 8 {
+		conn.Close()
+		return nil, fmt.Errorf("livemon: short lease key reply")
+	}
+	l := &LeaseClient{
+		conn:    conn,
+		wordKey: binary.BigEndian.Uint32(keys[0:]),
+		recKey:  binary.BigEndian.Uint32(keys[4:]),
+		start:   time.Now(),
+		lease:   core.NewLease(me, cfg.WithDefaults(sim.Time(50*time.Millisecond))),
+		stop:    make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l, nil
+}
+
+// now maps the monotonic clock onto the lease machine's timeline.
+func (l *LeaseClient) now() sim.Time { return sim.Time(time.Since(l.start)) }
+
+// Valid reports whether this front-end may dispatch right now — the
+// fence to consult per request.
+func (l *LeaseClient) Valid() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lease.Valid(l.now())
+}
+
+// Role returns the current lease role.
+func (l *LeaseClient) Role() core.LeaseRole {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lease.Role()
+}
+
+// Epoch returns the epoch this replica last held.
+func (l *LeaseClient) Epoch() uint16 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lease.Epoch()
+}
+
+// Counters returns the lease machine's takeover/renewal/deposal counts.
+func (l *LeaseClient) Counters() (takeovers, renewals, deposals uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lease.Takeovers, l.lease.Renewals, l.lease.Deposals
+}
+
+// Pause suspends the renew/observe loop without surrendering the lease
+// — the live stand-in for a frozen or stalled front-end. Validity
+// lapses on its own; a later Resume renews (revalidating if nobody took
+// the epoch) or gets deposed by the CAS failure.
+func (l *LeaseClient) Pause() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.paused = true
+}
+
+// Resume lifts a Pause.
+func (l *LeaseClient) Resume() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.paused = false
+}
+
+// Close stops the lease loop and closes the connection. The lease word
+// is left as-is: standbys take over after TakeoverAfter, exactly as if
+// this front-end had died — which, as far as the protocol can tell, it
+// has.
+func (l *LeaseClient) Close() error {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	l.wg.Wait()
+	return l.conn.Close()
+}
+
+func (l *LeaseClient) run() {
+	defer l.wg.Done()
+	l.mu.Lock()
+	every := time.Duration(l.lease.Cfg.CheckEvery)
+	l.mu.Unlock()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.step()
+		}
+	}
+}
+
+func (l *LeaseClient) step() {
+	l.mu.Lock()
+	if l.paused {
+		l.mu.Unlock()
+		return
+	}
+	primary := l.lease.Role() == core.RolePrimary
+	var cmp, swp uint64
+	if primary {
+		cmp, swp = l.lease.RenewBid()
+	}
+	// Validity is stamped from the CAS post instant, not from when the
+	// reply lands — see core.LeaseManager for why (a stall between post
+	// and completion must not stretch validity).
+	posted := l.now()
+	l.mu.Unlock()
+
+	if primary {
+		prev, err := l.conn.CompareSwap(l.wordKey, cmp, swp)
+		l.mu.Lock()
+		switch {
+		case err != nil:
+			l.CASErrors++
+		case prev == cmp:
+			l.lease.RenewWon(posted)
+		default:
+			l.lease.RenewLost(prev, posted)
+		}
+		l.mu.Unlock()
+		return
+	}
+
+	raw, err := l.conn.RDMARead(l.wordKey, wire.LeaseWordSize)
+	if err != nil || len(raw) < wire.LeaseWordSize {
+		l.mu.Lock()
+		l.ReadErrors++
+		l.mu.Unlock()
+		return
+	}
+	word := binary.LittleEndian.Uint64(raw)
+	l.mu.Lock()
+	bid := l.lease.Observe(word, l.now())
+	if bid {
+		cmp, swp = l.lease.TakeoverBid()
+	}
+	posted = l.now()
+	l.mu.Unlock()
+	if !bid {
+		return
+	}
+	prev, err := l.conn.CompareSwap(l.wordKey, cmp, swp)
+	l.mu.Lock()
+	switch {
+	case err != nil:
+		l.CASErrors++
+		l.mu.Unlock()
+	case prev == cmp:
+		l.lease.TakeoverWon(posted)
+		rec := wire.LeaseRecord{
+			Holder:  l.lease.Me,
+			Epoch:   l.lease.Epoch(),
+			GrantNS: int64(posted),
+			TTLNS:   int64(l.lease.Cfg.TTL),
+		}
+		l.mu.Unlock()
+		// Observability only; a failed write does not affect primaryship.
+		_ = l.conn.RDMAWrite(l.recKey, rec.Encode())
+	default:
+		l.lease.TakeoverLost(prev, posted)
+		l.mu.Unlock()
+	}
+}

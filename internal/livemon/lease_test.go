@@ -1,0 +1,131 @@
+package livemon
+
+import (
+	"testing"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
+)
+
+// leaseTestCfg uses short real-time windows: check every 10ms, trust
+// for 30ms, take over after 60ms of silence. Deadlines below are
+// generous multiples so a loaded CI machine does not flake.
+func leaseTestCfg() core.LeaseConfig {
+	return core.LeaseConfig{
+		CheckEvery:    sim.Time(10 * time.Millisecond),
+		TTL:           sim.Time(30 * time.Millisecond),
+		TakeoverAfter: sim.Time(60 * time.Millisecond),
+	}
+}
+
+func waitLease(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func startWitness(t *testing.T) *Agent {
+	t.Helper()
+	a, err := StartAgent(Config{
+		Scheme:    core.RDMASync,
+		NodeID:    1,
+		Provider:  synthetic(2),
+		HostLease: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func dialLease(t *testing.T, a *Agent, me uint16) *LeaseClient {
+	t.Helper()
+	l, err := DialLease(a.Addr(), me, leaseTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestLiveLeaseHandoff drives the full two-front-end story over real
+// TCP: FE1 acquires the vacant lease, FE2 joins and stands by, FE1
+// stalls (Pause — a frozen process), FE2 takes over a new epoch after
+// TakeoverAfter, and the thawed FE1 is deposed by its failed renewal
+// CAS instead of ever believing itself primary again.
+func TestLiveLeaseHandoff(t *testing.T) {
+	w := startWitness(t)
+	fe1 := dialLease(t, w, 1)
+
+	waitLease(t, 5*time.Second, "FE1 to acquire the vacant lease", fe1.Valid)
+	if fe1.Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", fe1.Epoch())
+	}
+	if holder, epoch, _ := wireUnpack(w.LeaseWord()); holder != 1 || epoch != 1 {
+		t.Fatalf("witness word names holder %d epoch %d, want 1/1", holder, epoch)
+	}
+	if rec, err := w.LeaseRecord(); err != nil || rec.Holder != 1 || rec.Epoch != 1 {
+		t.Fatalf("published record = %+v, err %v", rec, err)
+	}
+
+	fe2 := dialLease(t, w, 2)
+	// FE2 must settle as a standby while FE1 keeps renewing.
+	time.Sleep(150 * time.Millisecond)
+	if fe2.Role() != core.RoleFollower || fe2.Valid() {
+		t.Fatal("FE2 grabbed a held lease")
+	}
+	if !fe1.Valid() {
+		t.Fatal("FE1 lost a lease nobody contested")
+	}
+
+	// FE1 stalls: validity lapses on its own, FE2 takes over.
+	fe1.Pause()
+	waitLease(t, 5*time.Second, "FE2 to take over from the stalled FE1", fe2.Valid)
+	if fe2.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", fe2.Epoch())
+	}
+	if fe1.Valid() {
+		t.Fatal("stalled FE1 still claims validity after FE2's takeover")
+	}
+
+	// FE1 thaws: its renewal CAS hits epoch 2 and deposes it.
+	fe1.Resume()
+	waitLease(t, 5*time.Second, "thawed FE1 to be deposed", func() bool {
+		_, _, deposals := fe1.Counters()
+		return deposals == 1 && fe1.Role() == core.RoleFollower
+	})
+	if fe1.Valid() {
+		t.Fatal("deposed FE1 claims validity")
+	}
+	if !fe2.Valid() {
+		t.Fatal("FE2 lost the lease to the deposed FE1")
+	}
+}
+
+// TestLiveLeaseCloseHandsOff: a front-end that dies outright (Close,
+// no deposal handshake) is timed out by the standby.
+func TestLiveLeaseCloseHandsOff(t *testing.T) {
+	w := startWitness(t)
+	fe1 := dialLease(t, w, 1)
+	waitLease(t, 5*time.Second, "FE1 to acquire", fe1.Valid)
+	fe1.Close()
+
+	fe2 := dialLease(t, w, 2)
+	waitLease(t, 5*time.Second, "FE2 to inherit from the dead FE1", fe2.Valid)
+	if fe2.Epoch() != 2 {
+		t.Fatalf("inherited epoch = %d, want 2", fe2.Epoch())
+	}
+}
+
+// wireUnpack avoids importing wire just for the test assertions.
+func wireUnpack(word uint64) (holder, epoch uint16, hb uint32) {
+	return uint16(word >> 48), uint16(word >> 32), uint32(word)
+}

@@ -38,6 +38,13 @@ type Config struct {
 	NodeID   uint16
 	Interval time.Duration // async refresh period (default 50ms)
 	Provider procfs.Provider
+
+	// HostLease additionally makes this agent the lease witness: it
+	// registers the front-end primaryship lease word and record as
+	// writable regions (mutated only by remote one-sided CAS/write) and
+	// serves their keys on a control port. Hosting costs the agent
+	// application nothing per operation, like every other region.
+	HostLease bool
 }
 
 // Agent is the live back-end of a monitoring scheme.
@@ -51,6 +58,8 @@ type Agent struct {
 	buf    []byte          // refreshed encoding (async schemes)
 	seq    uint32
 	closed bool
+
+	vault *leaseVault // non-nil when this agent hosts the lease
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -123,6 +132,10 @@ func StartAgent(cfg Config) (*Agent, error) {
 	default:
 		v.Close()
 		return nil, fmt.Errorf("livemon: unknown scheme %v", cfg.Scheme)
+	}
+
+	if cfg.HostLease {
+		a.hostLease()
 	}
 
 	// Control endpoint: scheme + rkey discovery for probes. The region

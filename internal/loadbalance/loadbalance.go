@@ -105,12 +105,19 @@ type WeightedLeastLoad struct {
 	Picks map[int]uint64
 }
 
+// DefaultDegradedPenalty is the load-index handicap applied to a
+// back-end monitored over its fallback transport when no explicit
+// penalty is configured. Admission control shares it, so a degraded
+// back-end is handicapped identically whether a request is being
+// routed or admitted.
+const DefaultDegradedPenalty = 0.05
+
 // degradedPenalty resolves the default handicap.
 func degradedPenalty(p float64) float64 {
 	if p > 0 {
 		return p
 	}
-	return 0.05
+	return DefaultDegradedPenalty
 }
 
 // Name implements Policy.

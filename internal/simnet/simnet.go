@@ -21,6 +21,7 @@
 package simnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -346,6 +347,7 @@ type NIC struct {
 	// Counters (NIC firmware statistics).
 	RDMAReads   uint64
 	RDMAWrites  uint64
+	RDMAAtomics uint64
 	RDMAErrors  uint64
 	SendsPosted uint64
 	SockDrops   uint64
@@ -571,8 +573,81 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 	})
 }
 
+// RDMACompareSwap posts a one-sided 64-bit atomic compare-and-swap on
+// the first 8 bytes of the remote writable region (IB masked-atomic
+// style, little-endian). The responder NIC performs the
+// read-compare-write; the target host CPU is never involved, which is
+// what lets lease acquisition and renewal survive a frozen or wedged
+// host. then receives the value the region held just before the
+// operation: prev == compare means the swap was applied.
+func (n *NIC) RDMACompareSwap(t *simos.Task, target int, key uint32, compare, swap uint64, then func(prev uint64, err error)) {
+	f := n.fab
+	t.Compute(f.Cfg.RDMAPostCost, func() {
+		t.Await(func(v any) {
+			c := v.(rdmaCompletion)
+			then(c.prev, c.err)
+		})
+		n.RDMAAtomics++
+		var extra sim.Time
+		if f.Faults != nil {
+			v := f.Faults.RDMA(n.node.ID, target)
+			if v.Fail {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
+				return
+			}
+			extra = v.Delay
+		}
+		f.Eng.After(f.xmit(32)+extra, func() { // descriptor + compare + swap operands
+			tn := f.nics[target]
+			if tn == nil {
+				n.complete(t, rdmaCompletion{err: ErrNoRoute})
+				return
+			}
+			if tn.node.Down() {
+				f.countErr(n)
+				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
+				return
+			}
+			f.Eng.After(f.Cfg.NICService, func() {
+				mr := tn.mrs[key]
+				switch {
+				case mr == nil:
+					tn.fab.countErr(n)
+					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrBadKey})
+					return
+				case !mr.writable:
+					tn.fab.countErr(n)
+					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrPermission})
+					return
+				case mr.size < 8:
+					tn.fab.countErr(n)
+					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrLength})
+					return
+				}
+				// The atomic instant: read, compare and (maybe) write
+				// back within one NIC service slot. The engine is the
+				// serialization point, exactly as responder-side atomic
+				// units serialize concurrent atomics in hardware.
+				cur := make([]byte, len(mr.source()))
+				copy(cur, mr.source())
+				prev := binary.LittleEndian.Uint64(cur[:8])
+				if prev == compare {
+					binary.LittleEndian.PutUint64(cur[:8], swap)
+					mr.sink(cur)
+				}
+				if f.AblationRDMATargetIRQ {
+					tn.node.RaiseNetIRQ(nil)
+				}
+				n.completeAfter(t, f.xmit(8), rdmaCompletion{prev: prev})
+			})
+		})
+	})
+}
+
 type rdmaCompletion struct {
 	data []byte
+	prev uint64
 	err  error
 }
 

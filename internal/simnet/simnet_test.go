@@ -463,3 +463,124 @@ func TestSendTxCPUScalesWithSize(t *testing.T) {
 		t.Fatalf("1MB TX completion at %v, want ~2ms", big)
 	}
 }
+
+func TestRDMACompareSwapAppliesAndFences(t *testing.T) {
+	r := newRig(t, 3, Defaults())
+	word := make([]byte, 8)
+	mr := r.nics[2].RegisterWritableMR(StaticSource(word), len(word), func(b []byte) { copy(word, b) })
+
+	// Node 0 swaps 0 -> 7; node 1 then tries the same 0 -> 9 swap and
+	// must lose, observing 7.
+	var prev0, prev1 uint64
+	r.nodes[0].Spawn("cas0", func(tk *simos.Task) {
+		r.nics[0].RDMACompareSwap(tk, 2, mr.Key(), 0, 7, func(prev uint64, err error) {
+			if err != nil {
+				t.Errorf("cas0: %v", err)
+			}
+			prev0 = prev
+		})
+	})
+	r.eng.RunUntil(sim.Second)
+	r.nodes[1].Spawn("cas1", func(tk *simos.Task) {
+		r.nics[1].RDMACompareSwap(tk, 2, mr.Key(), 0, 9, func(prev uint64, err error) {
+			if err != nil {
+				t.Errorf("cas1: %v", err)
+			}
+			prev1 = prev
+		})
+	})
+	r.eng.RunUntil(2 * sim.Second)
+	if prev0 != 0 {
+		t.Fatalf("first CAS saw prev=%d, want 0", prev0)
+	}
+	if prev1 != 7 {
+		t.Fatalf("second CAS saw prev=%d, want 7 (must lose)", prev1)
+	}
+	if got := binary.LittleEndian.Uint64(word); got != 7 {
+		t.Fatalf("word = %d, want 7 (losing swap must not apply)", got)
+	}
+}
+
+func TestRDMACompareSwapNoTargetCPUInvolvement(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	word := make([]byte, 8)
+	mr := r.nics[1].RegisterWritableMR(StaticSource(word), len(word), func(b []byte) { copy(word, b) })
+	r.nodes[0].Spawn("cas", func(tk *simos.Task) {
+		r.nics[0].RDMACompareSwap(tk, 1, mr.Key(), 0, 42, nil2(t))
+	})
+	r.eng.RunUntil(sim.Second)
+	for c := 0; c < 2; c++ {
+		if r.nodes[1].K.CumIRQHard[c] != 0 {
+			t.Fatalf("target CPU%d saw %d IRQs from an atomic, want 0",
+				c, r.nodes[1].K.CumIRQHard[c])
+		}
+	}
+	if r.nodes[1].K.CtxSwitches != 0 {
+		t.Fatalf("target did %d context switches, want 0", r.nodes[1].K.CtxSwitches)
+	}
+	if r.nics[0].RDMAAtomics != 1 {
+		t.Fatalf("RDMAAtomics = %d, want 1", r.nics[0].RDMAAtomics)
+	}
+}
+
+// nil2 adapts a test-failing error check to the CAS completion.
+func nil2(t *testing.T) func(uint64, error) {
+	return func(_ uint64, err error) {
+		if err != nil {
+			t.Errorf("cas: %v", err)
+		}
+	}
+}
+
+func TestRDMACompareSwapErrors(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	ro := r.nics[1].RegisterMR(StaticSource(make([]byte, 8)), 8)
+	small := make([]byte, 4)
+	smallMR := r.nics[1].RegisterWritableMR(StaticSource(small), 4, func(b []byte) { copy(small, b) })
+	var errRO, errKey, errLen error
+	r.nodes[0].Spawn("cas", func(tk *simos.Task) {
+		r.nics[0].RDMACompareSwap(tk, 1, ro.Key(), 0, 1, func(_ uint64, err error) {
+			errRO = err
+			r.nics[0].RDMACompareSwap(tk, 1, 9999, 0, 1, func(_ uint64, err error) {
+				errKey = err
+				r.nics[0].RDMACompareSwap(tk, 1, smallMR.Key(), 0, 1, func(_ uint64, err error) {
+					errLen = err
+				})
+			})
+		})
+	})
+	r.eng.RunUntil(sim.Second)
+	if errRO != ErrPermission {
+		t.Fatalf("read-only region: %v, want ErrPermission", errRO)
+	}
+	if errKey != ErrBadKey {
+		t.Fatalf("bad key: %v, want ErrBadKey", errKey)
+	}
+	if errLen != ErrLength {
+		t.Fatalf("short region: %v, want ErrLength", errLen)
+	}
+}
+
+func TestRDMACompareSwapFrozenTargetStillServes(t *testing.T) {
+	// The property the lease design rests on: a frozen host's NIC still
+	// executes atomics, so a standby can seize the lease word even when
+	// the old primary's host is wedged.
+	r := newRig(t, 2, Defaults())
+	word := make([]byte, 8)
+	mr := r.nics[1].RegisterWritableMR(StaticSource(word), len(word), func(b []byte) { copy(word, b) })
+	r.nodes[1].Freeze()
+	var prev uint64
+	var gotErr error
+	r.nodes[0].Spawn("cas", func(tk *simos.Task) {
+		r.nics[0].RDMACompareSwap(tk, 1, mr.Key(), 0, 5, func(p uint64, err error) {
+			prev, gotErr = p, err
+		})
+	})
+	r.eng.RunUntil(sim.Second)
+	if gotErr != nil {
+		t.Fatalf("CAS against frozen target: %v", gotErr)
+	}
+	if prev != 0 || binary.LittleEndian.Uint64(word) != 5 {
+		t.Fatalf("prev=%d word=%d, want 0/5", prev, binary.LittleEndian.Uint64(word))
+	}
+}

@@ -13,11 +13,12 @@
 //
 // Wire protocol (all integers big-endian):
 //
-//	frame  := u32 length, u8 opcode, body
-//	opRead : u32 rkey, u32 maxLen          -> status, data
-//	opWrite: u32 rkey, data                -> status
-//	opCall : u8 portLen, port, payload     -> status, reply
-//	reply  := u32 length, u8 status, body
+//	frame     := u32 length, u8 opcode, body
+//	opRead    : u32 rkey, u32 maxLen          -> status, data
+//	opWrite   : u32 rkey, data                -> status
+//	opCall    : u8 portLen, port, payload     -> status, reply
+//	opCompSwap: u32 rkey, u64 compare, u64 swap -> status, u64 prev
+//	reply     := u32 length, u8 status, body
 package tcpverbs
 
 import (
@@ -34,9 +35,10 @@ import (
 
 // Opcodes.
 const (
-	opRead  = 1
-	opWrite = 2
-	opCall  = 3
+	opRead     = 1
+	opWrite    = 2
+	opCall     = 3
+	opCompSwap = 4
 )
 
 // Status codes mirrored from the simulated fabric's completion errors.
@@ -164,8 +166,13 @@ type Agent struct {
 	// ServedReads counts reads served (for tests/metrics).
 	served struct {
 		sync.Mutex
-		reads, writes, calls uint64
+		reads, writes, calls, atomics uint64
 	}
+
+	// atomics serializes compare-and-swap against every other CAS on
+	// this agent, giving the emulated verb the responder-side atomicity
+	// a real HCA provides in hardware.
+	atomics sync.Mutex
 
 	wg sync.WaitGroup
 }
@@ -195,6 +202,13 @@ func (a *Agent) Stats() (reads, writes, calls uint64) {
 	a.served.Lock()
 	defer a.served.Unlock()
 	return a.served.reads, a.served.writes, a.served.calls
+}
+
+// Atomics returns the number of compare-and-swap operations served.
+func (a *Agent) Atomics() uint64 {
+	a.served.Lock()
+	defer a.served.Unlock()
+	return a.served.atomics
 }
 
 // RegisterMR pins a read-only region of size bytes served by src.
@@ -311,6 +325,11 @@ func (a *Agent) serve(c net.Conn) {
 			a.served.Lock()
 			a.served.calls++
 			a.served.Unlock()
+		case opCompSwap:
+			status, resp = a.doCompSwap(body)
+			a.served.Lock()
+			a.served.atomics++
+			a.served.Unlock()
 		default:
 			return
 		}
@@ -364,6 +383,48 @@ func (a *Agent) doWrite(body []byte) byte {
 	copy(cp, data)
 	mr.sink(cp)
 	return statusOK
+}
+
+// doCompSwap atomically compares the first 8 bytes of a writable
+// region against compare and, on match, replaces them with swap. The
+// pre-operation value is always returned, like a real HCA's masked
+// atomic. The atomics mutex spans the read-compare-write sequence, so
+// concurrent CAS from different connections serialize exactly as they
+// would on the responder NIC.
+func (a *Agent) doCompSwap(body []byte) (byte, []byte) {
+	if len(body) < 20 {
+		return statusLength, nil
+	}
+	key := binary.BigEndian.Uint32(body[0:])
+	compare := binary.BigEndian.Uint64(body[4:])
+	swap := binary.BigEndian.Uint64(body[12:])
+	a.mu.RLock()
+	mr := a.mrs[key]
+	a.mu.RUnlock()
+	switch {
+	case mr == nil:
+		return statusBadKey, nil
+	case !mr.writable:
+		return statusPermission, nil
+	case mr.size < 8:
+		return statusLength, nil
+	}
+	a.atomics.Lock()
+	defer a.atomics.Unlock()
+	cur := mr.source()
+	if len(cur) < 8 {
+		return statusLength, nil
+	}
+	prev := binary.LittleEndian.Uint64(cur[:8])
+	if prev == compare {
+		next := make([]byte, len(cur))
+		copy(next, cur)
+		binary.LittleEndian.PutUint64(next[:8], swap)
+		mr.sink(next)
+	}
+	var resp [8]byte
+	binary.BigEndian.PutUint64(resp[:], prev)
+	return statusOK, resp[:]
 }
 
 func (a *Agent) doCall(body []byte) (byte, []byte) {
@@ -558,6 +619,38 @@ func (c *Conn) RDMAWrite(rkey uint32, data []byte) error {
 		return err
 	}
 	return statusErr(status)
+}
+
+// CompareSwap atomically compares the first 8 bytes of the remote
+// writable region (read little-endian, matching wire.PackLeaseWord's
+// in-region layout) against compare and installs swap on match. It
+// returns the pre-operation value; prev == compare means the swap
+// applied.
+//
+// Unlike reads and writes, a CAS is not idempotent under the redial-
+// and-replay retry policy: if the first attempt applied but its reply
+// was lost, the replay compares against a value the region no longer
+// holds and reports a loss the caller actually won. Lease callers are
+// safe with that — a false loss is conservative (the bidder re-observes
+// the word, sees itself named, and proceeds from there) — but callers
+// needing exactly-once semantics must disable retries.
+func (c *Conn) CompareSwap(rkey uint32, compare, swap uint64) (uint64, error) {
+	frame := make([]byte, 21)
+	frame[0] = opCompSwap
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	binary.BigEndian.PutUint64(frame[5:], compare)
+	binary.BigEndian.PutUint64(frame[13:], swap)
+	status, data, err := c.roundTrip(frame)
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(status); err != nil {
+		return 0, err
+	}
+	if len(data) < 8 {
+		return 0, ErrClosed
+	}
+	return binary.BigEndian.Uint64(data), nil
 }
 
 // Call performs a request/response exchange with a named handler on

@@ -225,3 +225,100 @@ func TestPortNameTooLong(t *testing.T) {
 		t.Fatal("overlong port should error")
 	}
 }
+
+func TestCompareSwapAppliesAndFences(t *testing.T) {
+	a := newAgent(t)
+	word := make([]byte, 8)
+	var mu sync.Mutex
+	mr := a.RegisterWritableMR(func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		cp := make([]byte, len(word))
+		copy(cp, word)
+		return cp
+	}, len(word), func(b []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		copy(word, b)
+	})
+	c := dial(t, a)
+
+	prev, err := c.CompareSwap(mr.Key(), 0, 0xdead)
+	if err != nil || prev != 0 {
+		t.Fatalf("winning CAS: prev=%#x err=%v", prev, err)
+	}
+	// A stale compare must lose and report the current value.
+	prev, err = c.CompareSwap(mr.Key(), 0, 0xbeef)
+	if err != nil || prev != 0xdead {
+		t.Fatalf("losing CAS: prev=%#x err=%v", prev, err)
+	}
+	// A fresh compare wins again.
+	if prev, err = c.CompareSwap(mr.Key(), 0xdead, 0xbeef); err != nil || prev != 0xdead {
+		t.Fatalf("second CAS: prev=%#x err=%v", prev, err)
+	}
+	if got := a.Atomics(); got != 3 {
+		t.Fatalf("served atomics = %d, want 3", got)
+	}
+}
+
+func TestCompareSwapErrors(t *testing.T) {
+	a := newAgent(t)
+	ro := a.RegisterMR(StaticSource(make([]byte, 8)), 8)
+	small := a.RegisterWritableMR(StaticSource(make([]byte, 4)), 4, func([]byte) {})
+	c := dial(t, a)
+	if _, err := c.CompareSwap(99999, 0, 1); err != ErrBadKey {
+		t.Fatalf("bad key: %v", err)
+	}
+	if _, err := c.CompareSwap(ro.Key(), 0, 1); err != ErrPermission {
+		t.Fatalf("read-only region: %v", err)
+	}
+	if _, err := c.CompareSwap(small.Key(), 0, 1); err != ErrLength {
+		t.Fatalf("short region: %v", err)
+	}
+}
+
+// TestCompareSwapSerializes races many initiators over distinct
+// connections: every round exactly one CAS may win, so the final value
+// reflects a linear history of wins.
+func TestCompareSwapSerializes(t *testing.T) {
+	a := newAgent(t)
+	word := make([]byte, 8)
+	var mu sync.Mutex
+	mr := a.RegisterWritableMR(func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		cp := make([]byte, len(word))
+		copy(cp, word)
+		return cp
+	}, len(word), func(b []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		copy(word, b)
+	})
+
+	const racers = 8
+	var wins atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(a.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			// Everyone bids from the same observed value; only one can
+			// install its ID.
+			if prev, err := c.CompareSwap(mr.Key(), 0, uint64(i)+1); err == nil && prev == 0 {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d racers won the same CAS, want exactly 1", wins.Load())
+	}
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The lease layer stores two things in registered memory regions:
+//
+//   - the lease *word*: a single 64-bit value holding (holder, epoch,
+//     heartbeat). It is the authoritative state, mutated only by
+//     one-sided compare-and-swap so acquisition and renewal are atomic
+//     without involving the hosting node's CPU.
+//   - the lease *record*: a CRC-protected descriptive record written
+//     (one-sided) by the winner of each epoch. It exists for observers
+//     — exporters, debuggers — and is never used to decide primaryship,
+//     so a torn read of it is detectable and harmless.
+
+// LeaseMagic identifies a lease record ("RMLS").
+const LeaseMagic uint32 = 0x524d4c53
+
+// LeaseVersion is the current lease record layout version.
+const LeaseVersion uint8 = 1
+
+// LeaseRecordSize is the exact encoded size in bytes.
+const LeaseRecordSize = 48
+
+// LeaseWordSize is the size of the lease word region: one CAS-able
+// 64-bit value.
+const LeaseWordSize = 8
+
+// LeaseVacant is the lease word meaning "no holder". Holder IDs are
+// 1-based precisely so the all-zero (freshly registered) region reads
+// as vacant.
+const LeaseVacant uint64 = 0
+
+// PackLeaseWord builds the 64-bit lease word: holder in the top 16
+// bits, epoch in the next 16, heartbeat in the low 32. A holder renews
+// by CAS-ing heartbeat+1 over its own word; a standby takes over by
+// CAS-ing (itself, epoch+1, 0) over the word it last observed.
+func PackLeaseWord(holder, epoch uint16, heartbeat uint32) uint64 {
+	return uint64(holder)<<48 | uint64(epoch)<<32 | uint64(heartbeat)
+}
+
+// UnpackLeaseWord splits a lease word into its fields.
+func UnpackLeaseWord(w uint64) (holder, epoch uint16, heartbeat uint32) {
+	return uint16(w >> 48), uint16(w >> 32), uint32(w)
+}
+
+// LeaseRecord describes the current lease grant. Holder is 1-based (0
+// means vacant, matching LeaseVacant).
+type LeaseRecord struct {
+	Holder    uint16
+	Epoch     uint16
+	Heartbeat uint32
+	GrantNS   int64 // clock at epoch acquisition, ns
+	TTLNS     int64 // holder-side validity window per renewal, ns
+}
+
+func (r LeaseRecord) String() string {
+	return fmt.Sprintf("lease holder=%d epoch=%d hb=%d ttl=%dns",
+		r.Holder, r.Epoch, r.Heartbeat, r.TTLNS)
+}
+
+// AppendTo encodes the record into dst (which must have
+// LeaseRecordSize capacity from offset 0); dst is returned for
+// chaining. Encoding never fails.
+func (r LeaseRecord) AppendTo(dst []byte) []byte {
+	if cap(dst) < LeaseRecordSize {
+		dst = make([]byte, LeaseRecordSize)
+	}
+	b := dst[:LeaseRecordSize]
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], LeaseMagic)
+	b[4] = LeaseVersion
+	b[5] = 0
+	le.PutUint16(b[6:], r.Holder)
+	le.PutUint16(b[8:], r.Epoch)
+	le.PutUint16(b[10:], 0)
+	le.PutUint32(b[12:], r.Heartbeat)
+	le.PutUint64(b[16:], uint64(r.GrantNS))
+	le.PutUint64(b[24:], uint64(r.TTLNS))
+	for i := 32; i < 44; i++ {
+		b[i] = 0
+	}
+	le.PutUint32(b[44:], crc32.ChecksumIEEE(b[:44]))
+	return b
+}
+
+// Encode returns a freshly allocated encoding of the record.
+func (r LeaseRecord) Encode() []byte { return r.AppendTo(nil) }
+
+// DecodeLease parses and validates a lease record from b. Errors are
+// the shared wire decode errors (ErrShort, ErrMagic, ...).
+func DecodeLease(b []byte) (LeaseRecord, error) {
+	var r LeaseRecord
+	if len(b) < LeaseRecordSize {
+		return r, ErrShort
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != LeaseMagic {
+		return r, ErrMagic
+	}
+	if b[4] != LeaseVersion {
+		return r, ErrVersion
+	}
+	if le.Uint32(b[44:]) != crc32.ChecksumIEEE(b[:44]) {
+		return r, ErrChecksum
+	}
+	if b[5] != 0 || le.Uint16(b[10:]) != 0 {
+		return r, ErrReserved
+	}
+	for i := 32; i < 44; i++ {
+		if b[i] != 0 {
+			return r, ErrReserved
+		}
+	}
+	r.Holder = le.Uint16(b[6:])
+	r.Epoch = le.Uint16(b[8:])
+	r.Heartbeat = le.Uint32(b[12:])
+	r.GrantNS = int64(le.Uint64(b[16:]))
+	r.TTLNS = int64(le.Uint64(b[24:]))
+	return r, nil
+}

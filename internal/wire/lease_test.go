@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+func TestLeaseWordPackUnpack(t *testing.T) {
+	cases := []struct {
+		holder, epoch uint16
+		hb            uint32
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{3, 17, 42},
+		{0xFFFF, 0xFFFF, 0xFFFFFFFF},
+		{2, 0x8000, 1},
+	}
+	for _, c := range cases {
+		w := PackLeaseWord(c.holder, c.epoch, c.hb)
+		h, e, hb := UnpackLeaseWord(w)
+		if h != c.holder || e != c.epoch || hb != c.hb {
+			t.Fatalf("pack/unpack(%d,%d,%d) = (%d,%d,%d)", c.holder, c.epoch, c.hb, h, e, hb)
+		}
+	}
+	if PackLeaseWord(0, 0, 0) != LeaseVacant {
+		t.Fatal("zero word must be vacant")
+	}
+	if PackLeaseWord(1, 0, 0) == LeaseVacant {
+		t.Fatal("held word must not read vacant")
+	}
+}
+
+func TestLeaseRecordRoundTrip(t *testing.T) {
+	r := LeaseRecord{Holder: 2, Epoch: 7, Heartbeat: 1234, GrantNS: 5_000_000_000, TTLNS: 300_000_000}
+	enc := r.Encode()
+	if len(enc) != LeaseRecordSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), LeaseRecordSize)
+	}
+	back, err := DecodeLease(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back != r {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, r)
+	}
+}
+
+func TestLeaseRecordDecodeErrors(t *testing.T) {
+	r := LeaseRecord{Holder: 1, Epoch: 1, Heartbeat: 9}
+	enc := r.Encode()
+
+	if _, err := DecodeLease(enc[:LeaseRecordSize-1]); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeLease(bad); err != ErrMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[4] = LeaseVersion + 1
+	if _, err := DecodeLease(bad); err != ErrVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// Torn write: flip a payload byte, CRC no longer matches.
+	bad = append([]byte(nil), enc...)
+	bad[12] ^= 0x55
+	if _, err := DecodeLease(bad); err != ErrChecksum {
+		t.Fatalf("checksum: %v", err)
+	}
+	// Nonzero reserved with a recomputed CRC must still be rejected.
+	bad = append([]byte(nil), enc...)
+	bad[33] = 1
+	binary.LittleEndian.PutUint32(bad[44:], crc32.ChecksumIEEE(bad[:44]))
+	if _, err := DecodeLease(bad); err != ErrReserved {
+		t.Fatalf("reserved: %v", err)
+	}
+}
+
+func TestLeaseRecordAppendToReuse(t *testing.T) {
+	r := LeaseRecord{Holder: 3, Epoch: 2, Heartbeat: 5}
+	buf := make([]byte, LeaseRecordSize)
+	got := r.AppendTo(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("AppendTo must reuse a large-enough buffer")
+	}
+	if !bytes.Equal(got, r.Encode()) {
+		t.Fatal("AppendTo and Encode disagree")
+	}
+}

@@ -39,6 +39,16 @@ type ClientPoolConfig struct {
 	ExtBase   int      // first external ID (successive clients count down)
 	Gen       Generator
 	Seed      int64
+
+	// FrontEnds, if non-empty, lists every front-end replica the
+	// clients know about (think: DNS round-robin over the VIPs). A
+	// NotPrimary reply or a request timeout rotates the pool to the
+	// next replica; FrontEnd is ignored when set.
+	FrontEnds []int
+	// Timeout overrides RequestTimeout. Pools pointed at a replicated
+	// front-end use a shorter patience so a dead primary is abandoned
+	// on the client side quickly.
+	Timeout sim.Time
 }
 
 // ClientPool is a closed-loop population of emulated clients living
@@ -65,8 +75,15 @@ type ClientPool struct {
 	// do not enter the response-time samples either.
 	Rejected uint64
 
+	// NotPrimary counts replies refused by a fenced (non-primary)
+	// dispatcher; Retargets counts rotations to another front-end
+	// replica (after a NotPrimary or a timeout).
+	NotPrimary uint64
+	Retargets  uint64
+
 	Completed uint64
 	nextID    uint64
+	front     int // index into Cfg.FrontEnds
 	stopped   bool
 	paused    bool
 	startedAt sim.Time
@@ -75,12 +92,19 @@ type ClientPool struct {
 
 type inflightReq struct {
 	id      uint64
+	req     httpsim.Request
 	timeout *sim.Event
 }
 
 // RequestTimeout is how long a client waits before abandoning a
 // request and issuing its next one.
 const RequestTimeout = 10 * sim.Second
+
+// notPrimaryBackoff is how long a client waits before retrying a
+// request refused by a fenced dispatcher: during a takeover window no
+// replica holds the lease, and hammering the fleet at wire rate would
+// only add noise to the handoff.
+const notPrimaryBackoff = 25 * sim.Millisecond
 
 // StartClients launches the pool on fab. Clients begin issuing
 // immediately, desynchronized by one think time.
@@ -136,18 +160,43 @@ func (p *ClientPool) scheduleNext(ext int) {
 		p.nextID++
 		id := p.nextID
 		req := p.Cfg.Gen(p.rng, id, ext, p.fab.Eng.Now())
-		fl := &inflightReq{id: id}
-		fl.timeout = p.fab.Eng.After(RequestTimeout, func() {
+		fl := &inflightReq{id: id, req: req}
+		fl.timeout = p.fab.Eng.After(p.patience(), func() {
 			if p.stopped || p.inflight[ext] != fl {
 				return
 			}
 			delete(p.inflight, ext)
 			p.Timeouts++
+			// A silent front-end may be dead: try the next replica.
+			p.rotateFront()
 			p.scheduleNext(ext)
 		})
 		p.inflight[ext] = fl
-		p.fab.Inject(ext, p.Cfg.FrontEnd, p.Cfg.Port, req.Size, req)
+		p.fab.Inject(ext, p.frontEnd(), p.Cfg.Port, req.Size, req)
 	})
+}
+
+func (p *ClientPool) patience() sim.Time {
+	if p.Cfg.Timeout > 0 {
+		return p.Cfg.Timeout
+	}
+	return RequestTimeout
+}
+
+// frontEnd returns the replica this pool currently targets.
+func (p *ClientPool) frontEnd() int {
+	if len(p.Cfg.FrontEnds) == 0 {
+		return p.Cfg.FrontEnd
+	}
+	return p.Cfg.FrontEnds[p.front%len(p.Cfg.FrontEnds)]
+}
+
+func (p *ClientPool) rotateFront() {
+	if len(p.Cfg.FrontEnds) < 2 {
+		return
+	}
+	p.front++
+	p.Retargets++
 }
 
 func (p *ClientPool) onReply(ext int, m simos.Message) {
@@ -161,6 +210,20 @@ func (p *ClientPool) onReply(ext int, m simos.Message) {
 	fl := p.inflight[ext]
 	if fl == nil || fl.id != rep.ID {
 		return // reply to an abandoned request
+	}
+	if rep.NotPrimary {
+		// The dispatcher's lease fence refused us. Rotate to the next
+		// replica and retry the same request after a short backoff;
+		// the original patience timer keeps the retries bounded.
+		p.NotPrimary++
+		p.rotateFront()
+		p.fab.Eng.After(notPrimaryBackoff, func() {
+			if p.stopped || p.inflight[ext] != fl {
+				return
+			}
+			p.fab.Inject(ext, p.frontEnd(), p.Cfg.Port, fl.req.Size, fl.req)
+		})
+		return
 	}
 	delete(p.inflight, ext)
 	p.fab.Eng.Cancel(fl.timeout)
