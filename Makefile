@@ -6,9 +6,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke bench clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke bench bench-baseline bench-check clean
 
-ci: vet build race fuzz chaos-smoke ha-smoke
+ci: vet build race bench-check fuzz chaos-smoke ha-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLoadRecordFields -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzServeFrame -fuzztime=$(FUZZTIME) ./internal/tcpverbs
+	$(GO) test -run=^$$ -fuzz=FuzzReadBatch -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzProcfsParsers -fuzztime=$(FUZZTIME) ./internal/procfs
 	$(GO) test -run=^$$ -fuzz=FuzzLeaseRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 
@@ -49,6 +50,16 @@ ha-smoke:
 # One-command reproduction pass over the paper's tables and figures.
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# Probe-engine regression gate: replay the deterministic 256-backend
+# scale point and fail on >15% regression vs the committed baseline.
+bench-check:
+	$(GO) test -run 'TestBenchScaleRegression' .
+
+# Regenerate BENCH_scale.json after an intentional cost-model change
+# (commit the result).
+bench-baseline:
+	BENCH_WRITE=1 $(GO) test -run 'TestBenchScaleRegression' .
 
 clean:
 	$(GO) clean -testcache

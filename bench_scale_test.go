@@ -1,0 +1,94 @@
+// Benchmark and regression gate for the batched/sharded probe engine
+// (DESIGN.md §10). `make bench-check` replays the gate configuration
+// and fails on a >15% regression against the committed
+// BENCH_scale.json; `make bench-baseline` regenerates that file after
+// an intentional cost-model change.
+package rdmamon_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"rdmamon/internal/experiments"
+)
+
+const benchBaselineFile = "BENCH_scale.json"
+
+type scaleBaseline struct {
+	Backends   int     `json:"backends"`
+	Shards     int     `json:"shards"`
+	Batch      int     `json:"batch"`
+	CycleP50Us float64 `json:"cycle_p50_us"`
+	ProbeP99Us float64 `json:"probe_p99_us"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
+// benchScalePoint runs the gate configuration — 256 back-ends, 4
+// shards, doorbell batch 32 — plus its sequential baseline (for the
+// speedup figure). The simulation is deterministic, so the figures are
+// exactly reproducible; the 15% tolerance only absorbs intentional
+// small cost-model adjustments.
+func benchScalePoint() scaleBaseline {
+	d := experiments.Scale(experiments.Options{Backends: 256, Shards: 4, Batch: 32})
+	p := d.Points[len(d.Points)-1]
+	return scaleBaseline{
+		Backends: p.Backends, Shards: p.Shards, Batch: p.Batch,
+		CycleP50Us: p.CycleP50Us, ProbeP99Us: p.ProbeP99Us, Speedup: p.Speedup,
+	}
+}
+
+// BenchmarkScale256 reports the probe engine's headline figures at the
+// gate configuration: sweep time and p99 probe latency at 256
+// back-ends, and the speedup over the sequential monitor.
+func BenchmarkScale256(b *testing.B) {
+	var p scaleBaseline
+	for i := 0; i < b.N; i++ {
+		p = benchScalePoint()
+	}
+	b.ReportMetric(p.CycleP50Us/1000, "sim-cycle-p50-ms")
+	b.ReportMetric(p.ProbeP99Us, "sim-probe-p99-us")
+	b.ReportMetric(p.Speedup, "speedup-x")
+}
+
+// TestBenchScaleRegression is the bench-check gate. With BENCH_WRITE=1
+// it rewrites the baseline instead (the bench-baseline target).
+func TestBenchScaleRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow benchmark gate; skipped with -short")
+	}
+	got := benchScalePoint()
+	if os.Getenv("BENCH_WRITE") == "1" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselineFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline rewritten: %+v", got)
+		return
+	}
+	raw, err := os.ReadFile(benchBaselineFile)
+	if err != nil {
+		t.Fatalf("no committed baseline (run `make bench-baseline` and commit it): %v", err)
+	}
+	var want scaleBaseline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", benchBaselineFile, err)
+	}
+	if got.Backends != want.Backends || got.Shards != want.Shards || got.Batch != want.Batch {
+		t.Fatalf("gate configuration drifted: measured %+v, baseline %+v", got, want)
+	}
+	const tol = 1.15
+	worse := func(name string, got, base float64) {
+		if got > base*tol {
+			t.Errorf("%s regressed: %.1f vs baseline %.1f (>%.0f%% worse)", name, got, base, (tol-1)*100)
+		}
+	}
+	worse("cycle p50 us", got.CycleP50Us, want.CycleP50Us)
+	worse("probe p99 us", got.ProbeP99Us, want.ProbeP99Us)
+	if got.Speedup*tol < want.Speedup {
+		t.Errorf("speedup regressed: %.1fx vs baseline %.1fx", got.Speedup, want.Speedup)
+	}
+}

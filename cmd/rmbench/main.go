@@ -27,6 +27,9 @@ func main() {
 		seed   = flag.Int64("seed", 0, "simulation seed (0 = default)")
 		seeds  = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha (0 = default of 5)")
 		seq    = flag.Bool("seq", false, "run sweep points sequentially")
+		nback  = flag.Int("backends", 0, "pin -exp scale to one back-end count (0 = sweep)")
+		shards = flag.Int("shards", 0, "pin -exp scale to one shard count (0 = sweep)")
+		batch  = flag.Int("batch", 0, "pin -exp scale to one doorbell batch size (0 = sweep)")
 		format = flag.String("format", "table", "output format: table, csv, plot")
 	)
 	flag.Parse()
@@ -46,7 +49,10 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds}
+	opts := experiments.Options{
+		Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds,
+		Backends: *nback, Shards: *shards, Batch: *batch,
+	}
 	failed := false
 	for _, id := range ids {
 		start := time.Now()

@@ -47,7 +47,7 @@ func usage() {
 subcommands:
   agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>] [-host-lease]
   probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
-         [-lease <replica-id> [-witness <addr>]]
+         [-burst k] [-lease <replica-id> [-witness <addr>]]
   once   -target <addr>
 
 schemes: socket-async, socket-sync, rdma-async, rdma-sync, e-rdma-sync`)
@@ -104,6 +104,7 @@ func runProbe(args []string) {
 	interval := fs.Duration("interval", 50*time.Millisecond, "poll interval")
 	count := fs.Int("count", 0, "number of polling cycles (0 = forever)")
 	failover := fs.Bool("failover", false, "arm the RDMA->socket transport breaker (RDMA schemes)")
+	burst := fs.Int("burst", 1, "pipelined reads per probe cycle (RDMA schemes): k distinct samples in ~one round trip")
 	leaseID := fs.Int("lease", 0, "front-end replica id (1-based): contend for the dispatch lease hosted by the witness in -witness")
 	witness := fs.String("witness", "", "witness agent address hosting the lease word (default: first target)")
 	fs.Parse(args)
@@ -148,6 +149,17 @@ func runProbe(args []string) {
 				lease.Role(), lease.Epoch(), lease.Valid(), tk, rn, dp)
 		}
 		for i, p := range probes {
+			if *burst > 1 && p.Scheme().UsesRDMA() {
+				recs, err := p.FetchBurst(*burst)
+				if err != nil {
+					fmt.Printf("%-22s ERROR %v\n", addrs[i], err)
+					continue
+				}
+				for _, rec := range recs {
+					printRecord(addrs[i], rec, w.Index(rec), time.Since(start), " burst")
+				}
+				continue
+			}
 			rec, tr, err := p.FetchVia()
 			if err != nil {
 				fmt.Printf("%-22s ERROR %v\n", addrs[i], err)

@@ -68,6 +68,14 @@ type Config struct {
 	// so a dead back-end cannot stall the sequential probe cycle.
 	ProbeTimeout sim.Time
 
+	// MonitorShards splits the monitoring process into S shard tasks,
+	// each sweeping its own slice of back-ends; MonitorBatch caps how
+	// many one-sided reads one doorbell batch posts (see
+	// core.MonitorConfig). Zero values keep the paper's sequential
+	// single-task monitor.
+	MonitorShards int
+	MonitorBatch  int
+
 	// MRRepin is how long a back-end agent takes to notice an
 	// invalidated memory region and re-register it (fault plans with
 	// MRInvalidations). Zero takes 100ms.
@@ -191,7 +199,7 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	if !cfg.NoMonitor {
-		c.Monitor = core.StartMonitor(c.Front, c.FNIC, c.Agents, cfg.Poll)
+		c.Monitor = core.StartMonitorCfg(c.Front, c.FNIC, c.Agents, cfg.Poll, c.monitorConfig())
 		c.Monitor.SetProbeTimeout(cfg.ProbeTimeout)
 		if cfg.Failover != nil && cfg.Scheme.UsesRDMA() {
 			c.Monitor.ArmFailover(*cfg.Failover)
@@ -268,7 +276,7 @@ func (c *Cluster) replicaRand(i int) *rand.Rand {
 // restart).
 func (c *Cluster) startReplica(r *Replica) {
 	if !c.Cfg.NoMonitor {
-		r.Monitor = core.StartMonitor(r.Node, r.NIC, c.Agents, c.Cfg.Poll)
+		r.Monitor = core.StartMonitorCfg(r.Node, r.NIC, c.Agents, c.Cfg.Poll, c.monitorConfig())
 		r.Monitor.SetProbeTimeout(c.Cfg.ProbeTimeout)
 		if c.Cfg.Failover != nil && c.Cfg.Scheme.UsesRDMA() {
 			r.Monitor.ArmFailover(*c.Cfg.Failover)
@@ -340,6 +348,12 @@ func (c *Cluster) Primary() *Replica {
 		}
 	}
 	return nil
+}
+
+// monitorConfig maps the cluster's sharding/batching knobs onto the
+// probe engine's config (zero values = the sequential monitor).
+func (c *Cluster) monitorConfig() core.MonitorConfig {
+	return core.MonitorConfig{Shards: c.Cfg.MonitorShards, Batch: c.Cfg.MonitorBatch}
 }
 
 // agentConfig is the per-backend agent configuration, shared by New

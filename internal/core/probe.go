@@ -137,71 +137,90 @@ func (p *Prober) Stop() {
 // reads of the RDMA path.
 func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 	start := p.front.Eng.Now()
-	finish := func(rec wire.LoadRecord, err error, tr Transport) {
-		p.LastTransport = tr
-		if err == nil {
-			p.last = rec
-			p.lastAt = p.front.Eng.Now()
-			p.has = true
-			if tr == TransportSocket && p.Scheme.UsesRDMA() {
-				p.Health.DegradedOK()
-			} else {
-				p.Health.OK()
-			}
-			if p.OnRecord != nil {
-				p.OnRecord(rec, p.lastAt)
-			}
-		} else {
-			p.Errors++
-			p.Health.Fail()
-		}
-		p.Latency.Add(float64((p.front.Eng.Now() - start) / sim.Microsecond))
-		then(rec, err)
-	}
 	if !p.Scheme.UsesRDMA() {
 		p.probeSocket(tk, func(rec wire.LoadRecord, err error) {
-			finish(rec, err, TransportSocket)
+			p.finishProbe(start, rec, err, TransportSocket, then)
 		})
 		return
 	}
 	fo := p.Failover
+	if fo != nil && fo.Tripped() {
+		p.probeTripped(tk, start, then)
+		return
+	}
+	p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
+		p.rdmaOutcome(tk, start, rec, err, then)
+	})
+}
+
+// finishProbe applies one completed probe's outcome to the prober's
+// bookkeeping (record cache, health machine, latency sample) and hands
+// it to the caller. start is when the probe — or the doorbell batch
+// carrying it — was posted.
+func (p *Prober) finishProbe(start sim.Time, rec wire.LoadRecord, err error, tr Transport, then func(wire.LoadRecord, error)) {
+	p.LastTransport = tr
+	if err == nil {
+		p.last = rec
+		p.lastAt = p.front.Eng.Now()
+		p.has = true
+		if tr == TransportSocket && p.Scheme.UsesRDMA() {
+			p.Health.DegradedOK()
+		} else {
+			p.Health.OK()
+		}
+		if p.OnRecord != nil {
+			p.OnRecord(rec, p.lastAt)
+		}
+	} else {
+		p.Errors++
+		p.Health.Fail()
+	}
+	p.Latency.Add(float64((p.front.Eng.Now() - start) / sim.Microsecond))
+	then(rec, err)
+}
+
+// rdmaOutcome resolves the result of an untripped RDMA probe —
+// standalone or one slot of a doorbell batch — including the breaker
+// accounting and the same-cycle socket fallback.
+func (p *Prober) rdmaOutcome(tk *simos.Task, start sim.Time, rec wire.LoadRecord, err error, then func(wire.LoadRecord, error)) {
+	fo := p.Failover
+	if err == nil {
+		if fo != nil {
+			fo.PrimaryOK()
+		}
+		p.finishProbe(start, rec, nil, TransportRDMA, then)
+		return
+	}
 	if fo == nil {
-		p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
-			finish(rec, err, TransportRDMA)
-		})
+		p.finishProbe(start, wire.LoadRecord{}, err, TransportRDMA, then)
 		return
 	}
-	if !fo.Tripped() {
-		p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
-			if err == nil {
-				fo.PrimaryOK()
-				finish(rec, nil, TransportRDMA)
-				return
-			}
-			fo.PrimaryFail()
-			// Degrade to the standby for this cycle too: if only the
-			// RDMA path is broken (stale rkey, NIC trouble) the record
-			// is still one socket round trip away, and the staleness
-			// window stays ~one sweep instead of TripAfter sweeps. A
-			// genuinely dead back-end fails both paths and the health
-			// machine sees a plain failure.
-			p.Fallbacks++
-			p.probeSocket(tk, func(rec wire.LoadRecord, serr error) {
-				if serr == nil {
-					finish(rec, nil, TransportSocket)
-				} else {
-					finish(wire.LoadRecord{}, err, TransportRDMA)
-				}
-			})
-		})
-		return
-	}
-	// Breaker tripped: the standby socket channel carries the probe, so
-	// the back-end keeps being monitored while its RDMA path is broken.
+	fo.PrimaryFail()
+	// Degrade to the standby for this cycle too: if only the
+	// RDMA path is broken (stale rkey, NIC trouble) the record
+	// is still one socket round trip away, and the staleness
+	// window stays ~one sweep instead of TripAfter sweeps. A
+	// genuinely dead back-end fails both paths and the health
+	// machine sees a plain failure.
+	p.Fallbacks++
+	p.probeSocket(tk, func(rec wire.LoadRecord, serr error) {
+		if serr == nil {
+			p.finishProbe(start, rec, nil, TransportSocket, then)
+		} else {
+			p.finishProbe(start, wire.LoadRecord{}, err, TransportRDMA, then)
+		}
+	})
+}
+
+// probeTripped carries a probe over the standby socket channel while
+// the breaker is tripped, issuing the occasional background re-arm
+// read of the RDMA path.
+func (p *Prober) probeTripped(tk *simos.Task, start sim.Time, then func(wire.LoadRecord, error)) {
+	fo := p.Failover
 	p.Fallbacks++
 	p.probeSocket(tk, func(rec wire.LoadRecord, err error) {
 		if !fo.ShouldReArm() {
-			finish(rec, err, TransportSocket)
+			p.finishProbe(start, rec, err, TransportSocket, then)
 			return
 		}
 		// Background re-arm: test the RDMA path without trusting it for
@@ -214,9 +233,17 @@ func (p *Prober) ProbeOnce(tk *simos.Task, then func(wire.LoadRecord, error)) {
 			} else {
 				fo.ReArmFail()
 			}
-			finish(rec, err, TransportSocket)
+			p.finishProbe(start, rec, err, TransportSocket, then)
 		})
 	})
+}
+
+// batchEligible reports whether this back-end's next probe can ride a
+// doorbell-batched multi-WR post: only one-sided RDMA probes batch,
+// and a tripped breaker routes the probe through ProbeOnce's socket
+// path (which also owns re-arm scheduling) instead.
+func (p *Prober) batchEligible() bool {
+	return p.Scheme.UsesRDMA() && (p.Failover == nil || !p.Failover.Tripped())
 }
 
 // probeRDMA issues the one-sided read path and decodes the record.
@@ -269,50 +296,182 @@ func (p *Prober) probeSocket(tk *simos.Task, then func(wire.LoadRecord, error)) 
 // back-end delays the probes of every back-end behind it in the cycle,
 // compounding staleness exactly when accuracy is needed most. RDMA
 // probes keep the cycle tight regardless of back-end load.
+//
+// At hundreds of back-ends even a tight sequential cycle serializes
+// badly, so the monitor can be sharded and batched (MonitorConfig):
+// S shard tasks each sweep their own slice of back-ends, posting
+// eligible RDMA probes as doorbell-batched multi-WR reads instead of
+// one at a time. Per-backend Failover/Health/lease semantics are
+// untouched — batching changes when reads are posted, never how their
+// outcomes are applied.
 type Monitor struct {
 	Scheme  Scheme
 	Probers map[int]*Prober
 	order   []int
+	fnic    *simnet.NIC
+	cfg     MonitorConfig
 
-	// Cycles counts completed polling sweeps.
+	// Cycles counts completed polling sweeps. With multiple shards it
+	// is the minimum over per-shard sweep counters: "every back-end has
+	// been swept at least Cycles times".
 	Cycles uint64
 
-	task    *simos.Task
-	stopped bool
+	// CycleTime samples per-shard sweep durations in microseconds.
+	CycleTime metrics.Sample
+
+	shardCycles []uint64
+	tasks       []*simos.Task
+	stopped     bool
+}
+
+// MonitorConfig shapes the probe engine. The zero value reproduces
+// the paper's monitor exactly: one task, strictly sequential probes.
+type MonitorConfig struct {
+	// Shards is the number of monitoring tasks; back-ends are split
+	// across them in contiguous slices (default 1).
+	Shards int
+	// Batch is the maximum number of one-sided reads posted per
+	// doorbell batch (default 1 = sequential ProbeOnce calls). Only
+	// RDMA probes with an untripped breaker batch; socket probes and
+	// tripped back-ends take the sequential path unchanged.
+	Batch int
+}
+
+func (c MonitorConfig) withDefaults(n int) MonitorConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if n > 0 && c.Shards > n {
+		c.Shards = n
+	}
+	return c
 }
 
 // StartMonitor starts the monitoring process for all agents on the
-// front-end node, polling each every poll.
+// front-end node, polling each every poll — the paper's sequential
+// single-task monitor.
 func StartMonitor(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll sim.Time) *Monitor {
+	return StartMonitorCfg(front, fnic, agents, poll, MonitorConfig{})
+}
+
+// StartMonitorCfg starts the monitoring process with explicit
+// sharding/batching. MonitorConfig{} (or {1, 1}) is byte-for-byte the
+// sequential monitor.
+func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll sim.Time, cfg MonitorConfig) *Monitor {
 	if poll <= 0 {
 		poll = DefaultInterval
 	}
-	m := &Monitor{Probers: make(map[int]*Prober)}
+	cfg = cfg.withDefaults(len(agents))
+	m := &Monitor{Probers: make(map[int]*Prober), fnic: fnic, cfg: cfg}
 	for _, a := range agents {
 		m.Scheme = a.Scheme
 		p := NewProber(front, fnic, a)
 		m.Probers[p.Backend] = p
 		m.order = append(m.order, p.Backend)
 	}
-	m.task = front.Spawn("rmon-frontend", func(tk *simos.Task) {
+	m.shardCycles = make([]uint64, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		// Contiguous balanced slices: shard s owns order[lo:hi].
+		lo := s * len(m.order) / cfg.Shards
+		hi := (s + 1) * len(m.order) / cfg.Shards
+		ids := m.order[lo:hi]
+		name := "rmon-frontend"
+		if cfg.Shards > 1 {
+			name = fmt.Sprintf("rmon-frontend-s%d", s)
+		}
+		s := s
+		m.tasks = append(m.tasks, front.Spawn(name, func(tk *simos.Task) {
+			var sweep func()
+			var sweepStart sim.Time
+			var step func(i int)
+			step = func(i int) {
+				if m.stopped {
+					tk.Exit()
+					return
+				}
+				if i >= len(ids) {
+					m.CycleTime.Add(float64((front.Eng.Now() - sweepStart) / sim.Microsecond))
+					m.shardDone(s)
+					tk.Sleep(poll, sweep)
+					return
+				}
+				if m.cfg.Batch > 1 {
+					// Extend a run of batch-eligible back-ends up to the
+					// doorbell limit.
+					j := i
+					for j < len(ids) && j-i < m.cfg.Batch && m.Probers[ids[j]].batchEligible() {
+						j++
+					}
+					if j > i+1 {
+						m.probeBatch(tk, ids[i:j], func() { step(j) })
+						return
+					}
+				}
+				m.Probers[ids[i]].ProbeOnce(tk, func(wire.LoadRecord, error) {
+					step(i + 1)
+				})
+			}
+			sweep = func() {
+				sweepStart = front.Eng.Now()
+				step(0)
+			}
+			sweep()
+		}))
+	}
+	return m
+}
+
+// probeBatch posts one doorbell-batched multi-WR read covering ids
+// (all batch-eligible when posted) and applies each completion through
+// the same per-backend outcome logic a standalone probe uses.
+func (m *Monitor) probeBatch(tk *simos.Task, ids []int, then func()) {
+	start := tk.Node().Eng.Now()
+	probers := make([]*Prober, len(ids))
+	reqs := make([]simnet.ReadReq, len(ids))
+	for i, id := range ids {
+		p := m.Probers[id]
+		probers[i] = p
+		reqs[i] = simnet.ReadReq{Target: p.Backend, Key: p.agent.RKey(), Length: wire.RecordSize}
+	}
+	m.fnic.RDMAReadBatch(tk, reqs, func(results []simnet.ReadResult) {
 		var step func(i int)
 		step = func(i int) {
-			if m.stopped {
-				tk.Exit()
+			if i >= len(probers) {
+				then()
 				return
 			}
-			if i >= len(m.order) {
-				m.Cycles++
-				tk.Sleep(poll, func() { step(0) })
+			p, res := probers[i], results[i]
+			next := func(wire.LoadRecord, error) { step(i + 1) }
+			if res.Err != nil {
+				if res.Err == simnet.ErrTimeout {
+					p.Timeouts++
+				}
+				p.rdmaOutcome(tk, start, wire.LoadRecord{}, res.Err, next)
 				return
 			}
-			m.Probers[m.order[i]].ProbeOnce(tk, func(wire.LoadRecord, error) {
-				step(i + 1)
+			tk.Compute(p.decode, func() {
+				rec, derr := wire.Decode(res.Data)
+				p.rdmaOutcome(tk, start, rec, derr, next)
 			})
 		}
 		step(0)
 	})
-	return m
+}
+
+// shardDone records one completed sweep of shard s and refreshes
+// Cycles as the minimum across shards.
+func (m *Monitor) shardDone(s int) {
+	m.shardCycles[s]++
+	min := m.shardCycles[0]
+	for _, c := range m.shardCycles[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	m.Cycles = min
 }
 
 // Backends returns the monitored back-end IDs in start order.
@@ -385,8 +544,8 @@ func (m *Monitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {
 // Stop ends the monitoring process.
 func (m *Monitor) Stop() {
 	m.stopped = true
-	if m.task != nil {
-		m.task.Exit()
+	for _, t := range m.tasks {
+		t.Exit()
 	}
 	for _, p := range m.Probers {
 		p.Stop()

@@ -30,6 +30,13 @@ type Options struct {
 	// Seeds is how many random fault plans the chaos experiment sweeps
 	// (default 5; other experiments ignore it).
 	Seeds int
+
+	// Backends, Shards and Batch pin the scale experiment to a single
+	// configuration instead of its built-in sweep (0 = sweep; other
+	// experiments ignore them).
+	Backends int
+	Shards   int
+	Batch    int
 }
 
 func (o Options) seed() int64 {

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestScaleQuickSpeedup runs the quick sweep and asserts the tentpole
+// shape holds even at its reduced fleet sizes: the batched+sharded
+// engine beats the sequential monitor by >= 4x at the largest quick
+// fleet, with zero probe errors and zero sequence regressions at every
+// cell (those set Failed in any mode).
+func TestScaleQuickSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Scale(Options{Quick: true})
+	if d.Failed {
+		t.Fatalf("quick scale sweep reported violations:\n%v", d.Notes)
+	}
+	last := d.Points[len(d.Points)-1]
+	if last.Speedup < 4 {
+		t.Fatalf("speedup %.1fx at %d back-ends, want >= 4x", last.Speedup, last.Backends)
+	}
+	for _, p := range d.Points {
+		if p.Cycles == 0 {
+			t.Fatalf("no sweeps at n=%d s=%d b=%d", p.Backends, p.Shards, p.Batch)
+		}
+	}
+}
+
+// TestScalePinnedPoint exercises the rmbench -backends/-shards/-batch
+// pins: one fleet size, the pinned config plus its sequential baseline.
+func TestScalePinnedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Scale(Options{Quick: true, Backends: 32, Shards: 2, Batch: 8})
+	if len(d.Points) != 2 {
+		t.Fatalf("pinned sweep has %d points, want 2 (baseline + pinned)", len(d.Points))
+	}
+	if d.Points[0].Shards != 1 || d.Points[0].Batch != 1 {
+		t.Fatalf("first point %+v is not the sequential baseline", d.Points[0])
+	}
+	p := d.Points[1]
+	if p.Backends != 32 || p.Shards != 2 || p.Batch != 8 {
+		t.Fatalf("pinned point %+v", p)
+	}
+	if p.Speedup <= 1 {
+		t.Fatalf("pinned config speedup %.1fx, want > 1x", p.Speedup)
+	}
+}

@@ -431,6 +431,62 @@ func (p *Probe) rdmaRecoverLocked() (wire.LoadRecord, error) {
 	return p.rdmaLocked()
 }
 
+// FetchBurst retrieves k load records in one pipelined batch over the
+// RDMA path (see tcpverbs.Conn.RDMAReadBatch): k reads posted
+// back-to-back, completions matched by sequence number, ~one round
+// trip for the whole burst. Under RDMA-Sync each read samples the
+// machine at its own service instant, so the burst yields k distinct
+// fine-grained samples — useful for catching load spikes shorter than
+// a poll interval. Fails over to nothing: burst fetches are an
+// RDMA-scheme feature, and socket schemes return an error.
+//
+// On failure it re-handshakes once (a restarted or re-pinned agent
+// hands out a fresh rkey) and retries the whole burst. Per-slot verb
+// errors fail the burst: a partially valid burst is not worth
+// reasoning about when retrying costs one round trip.
+func (p *Probe) FetchBurst(k int) ([]wire.LoadRecord, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.scheme.UsesRDMA() {
+		return nil, fmt.Errorf("livemon: burst fetch requires an RDMA scheme, agent runs %v", p.scheme)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	recs, err := p.burstLocked(k)
+	if err == nil {
+		return recs, nil
+	}
+	if herr := p.handshake(); herr != nil {
+		return nil, err
+	}
+	p.Rehandshakes++
+	return p.burstLocked(k)
+}
+
+func (p *Probe) burstLocked(k int) ([]wire.LoadRecord, error) {
+	reqs := make([]tcpverbs.BatchRead, k)
+	for i := range reqs {
+		reqs[i] = tcpverbs.BatchRead{RKey: p.rkey, Length: wire.RecordSize}
+	}
+	results, err := p.conn.RDMAReadBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]wire.LoadRecord, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		rec, derr := wire.Decode(r.Data)
+		if derr != nil {
+			return nil, derr
+		}
+		recs[i] = rec
+	}
+	return recs, nil
+}
+
 func (p *Probe) rdmaLocked() (wire.LoadRecord, error) {
 	raw, err := p.conn.RDMARead(p.rkey, wire.RecordSize)
 	if err != nil {

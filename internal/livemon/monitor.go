@@ -33,10 +33,28 @@ type Monitor struct {
 // still noticed within a few intervals.
 const quarantineBackoff = 4
 
+// MonitorConfig shapes the live monitor's polling layout.
+type MonitorConfig struct {
+	// Interval is the poll period (default 50ms).
+	Interval time.Duration
+	// Shards, when positive, replaces the one-goroutine-per-target
+	// layout with S sweep workers, each polling a contiguous slice of
+	// the fleet per tick — at hundreds of targets this bounds the
+	// goroutine and timer count the way the simulated monitor's shard
+	// tasks do. Zero keeps the per-target layout.
+	Shards int
+}
+
 // NewMonitor dials every target and starts polling. Targets that fail
 // to dial are reported in the returned error map; the monitor still
 // runs for the ones that connected (an empty monitor is valid).
 func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]error) {
+	return NewMonitorCfg(targets, MonitorConfig{Interval: interval})
+}
+
+// NewMonitorCfg is NewMonitor with an explicit polling layout.
+func NewMonitorCfg(targets []string, cfg MonitorConfig) (*Monitor, map[string]error) {
+	interval := cfg.Interval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
@@ -52,6 +70,7 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 		stop:      make(chan struct{}),
 	}
 	dialErrs := make(map[string]error)
+	var connected []string
 	for _, t := range targets {
 		p, err := Dial(t)
 		if err != nil {
@@ -60,6 +79,20 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 		}
 		m.probes[t] = p
 		m.health[t] = &core.HealthTracker{}
+		connected = append(connected, t)
+	}
+	if cfg.Shards > 0 {
+		s := cfg.Shards
+		if s > len(connected) {
+			s = len(connected)
+		}
+		for i := 0; i < s; i++ {
+			lo := i * len(connected) / s
+			hi := (i + 1) * len(connected) / s
+			m.wg.Add(1)
+			go m.shardPoll(connected[lo:hi])
+		}
+		return m, dialErrs
 	}
 	for t, p := range m.probes {
 		m.wg.Add(1)
@@ -68,54 +101,97 @@ func NewMonitor(targets []string, interval time.Duration) (*Monitor, map[string]
 	return m, dialErrs
 }
 
+// fetchOne issues one fetch against a target and folds the outcome
+// into the shared maps.
+func (m *Monitor) fetchOne(target string, p *Probe) {
+	rdma := p.Scheme().UsesRDMA()
+	rec, tr, err := p.FetchVia()
+	m.mu.Lock()
+	ht := m.health[target]
+	if err != nil {
+		m.errs[target] = err
+		ht.Fail()
+	} else {
+		delete(m.errs, target)
+		m.last[target] = rec
+		m.lastAt[target] = time.Now()
+		m.transport[target] = tr
+		if rdma && tr == core.TransportSocket {
+			// Alive, but only over the standby channel: Degraded
+			// keeps it dispatchable without calling it Healthy.
+			ht.DegradedOK()
+		} else {
+			ht.OK()
+		}
+	}
+	m.mu.Unlock()
+}
+
+// quarantineSkip reports whether a quarantined target's probe should
+// be skipped this tick (presumed-dead targets are checked at 1/4 rate;
+// each attempt still costs a full deadline if it's gone). skipped is
+// the target's consecutive-skip counter, maintained by the caller.
+func (m *Monitor) quarantineSkip(target string, skipped *int) bool {
+	m.mu.RLock()
+	quarantined := m.health[target].State() == core.Quarantined
+	m.mu.RUnlock()
+	if !quarantined {
+		*skipped = 0
+		return false
+	}
+	*skipped++
+	return *skipped%quarantineBackoff != 0
+}
+
 func (m *Monitor) poll(target string, p *Probe) {
 	defer m.wg.Done()
 	tick := time.NewTicker(m.interval)
 	defer tick.Stop()
-	rdma := p.Scheme().UsesRDMA()
-	fetch := func() {
-		rec, tr, err := p.FetchVia()
-		m.mu.Lock()
-		ht := m.health[target]
-		if err != nil {
-			m.errs[target] = err
-			ht.Fail()
-		} else {
-			delete(m.errs, target)
-			m.last[target] = rec
-			m.lastAt[target] = time.Now()
-			m.transport[target] = tr
-			if rdma && tr == core.TransportSocket {
-				// Alive, but only over the standby channel: Degraded
-				// keeps it dispatchable without calling it Healthy.
-				ht.DegradedOK()
-			} else {
-				ht.OK()
-			}
-		}
-		m.mu.Unlock()
-	}
-	fetch()
+	m.fetchOne(target, p)
 	skipped := 0
 	for {
 		select {
 		case <-m.stop:
 			return
 		case <-tick.C:
-			m.mu.RLock()
-			quarantined := m.health[target].State() == core.Quarantined
-			m.mu.RUnlock()
-			if quarantined {
-				// Probe a presumed-dead target at reduced rate; each
-				// attempt still costs a full deadline if it's gone.
-				skipped++
-				if skipped%quarantineBackoff != 0 {
-					continue
-				}
-			} else {
-				skipped = 0
+			if m.quarantineSkip(target, &skipped) {
+				continue
 			}
-			fetch()
+			m.fetchOne(target, p)
+		}
+	}
+}
+
+// shardPoll sweeps a slice of the fleet sequentially each tick — the
+// live analogue of one simulated monitor shard.
+func (m *Monitor) shardPoll(targets []string) {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.interval)
+	defer tick.Stop()
+	skipped := make(map[string]int, len(targets))
+	sweep := func() {
+		for _, t := range targets {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			skip := skipped[t]
+			if m.quarantineSkip(t, &skip) {
+				skipped[t] = skip
+				continue
+			}
+			skipped[t] = skip
+			m.fetchOne(t, m.probes[t])
+		}
+	}
+	sweep()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			sweep()
 		}
 	}
 }

@@ -81,6 +81,12 @@ type Config struct {
 
 	NICService   sim.Time // target NIC processing per RDMA op
 	RDMAPostCost sim.Time // initiator CPU to post a work request
+	// RDMAPostWRCost is the marginal initiator CPU for each work
+	// request after the first in a doorbell-batched post: building
+	// another WQE on an already-mapped queue costs far less than the
+	// doorbell ring itself, which is what makes multi-WR posting pay
+	// (the Storm/RDMAvisor observation).
+	RDMAPostWRCost sim.Time
 
 	// TCP-over-IPoIB loss behaviour: a message arriving at a
 	// CPU-distressed node may be dropped at the socket layer (buffers
@@ -111,6 +117,7 @@ func Defaults() Config {
 		AckEvery:       4 << 10,
 		NICService:     2 * sim.Microsecond,
 		RDMAPostCost:   1 * sim.Microsecond,
+		RDMAPostWRCost: 250 * sim.Nanosecond,
 		SockDropMax:    0.35,
 		SockDropPer:    0.04,
 		SockDropThresh: 12,
@@ -156,6 +163,9 @@ func (c *Config) sanitize() {
 	}
 	if c.RDMATimeout <= 0 {
 		c.RDMATimeout = d.RDMATimeout
+	}
+	if c.RDMAPostWRCost <= 0 {
+		c.RDMAPostWRCost = d.RDMAPostWRCost
 	}
 }
 
@@ -345,12 +355,13 @@ type NIC struct {
 	nextKey uint32
 
 	// Counters (NIC firmware statistics).
-	RDMAReads   uint64
-	RDMAWrites  uint64
-	RDMAAtomics uint64
-	RDMAErrors  uint64
-	SendsPosted uint64
-	SockDrops   uint64
+	RDMAReads       uint64
+	RDMAWrites      uint64
+	RDMAAtomics     uint64
+	RDMAErrors      uint64
+	SendsPosted     uint64
+	SockDrops       uint64
+	DoorbellBatches uint64
 }
 
 // Node returns the node this NIC belongs to.
@@ -454,6 +465,62 @@ func (n *NIC) RegisterWritableMR(src Source, size int, sink func([]byte)) *MR {
 // ErrBadKey.
 func (n *NIC) Deregister(mr *MR) { delete(n.mrs, mr.key) }
 
+// postRead performs the fabric half of one one-sided read work
+// request: fault consultation, request-descriptor flight, target NIC
+// service, the DMA instant, and the completion flight back. done runs
+// at the engine instant the completion would land in the initiator's
+// CQ; it is never called synchronously from postRead itself.
+func (n *NIC) postRead(target int, key uint32, length int, done func(data []byte, err error)) {
+	f := n.fab
+	n.RDMAReads++
+	var extra sim.Time
+	if f.Faults != nil {
+		v := f.Faults.RDMA(n.node.ID, target)
+		if v.Fail {
+			f.countErr(n)
+			f.Eng.After(f.Cfg.RDMATimeout, func() { done(nil, ErrTimeout) })
+			return
+		}
+		extra = v.Delay
+	}
+	f.Eng.After(f.xmit(16)+extra, func() { // request descriptor to target NIC
+		tn := f.nics[target]
+		if tn == nil {
+			done(nil, ErrNoRoute)
+			return
+		}
+		if tn.node.Down() {
+			f.countErr(n)
+			f.Eng.After(f.Cfg.RDMATimeout, func() { done(nil, ErrTimeout) })
+			return
+		}
+		f.Eng.After(f.Cfg.NICService, func() {
+			mr := tn.mrs[key]
+			if mr == nil {
+				tn.fab.countErr(n)
+				f.Eng.After(f.xmit(0), func() { done(nil, ErrBadKey) })
+				return
+			}
+			if length > mr.size {
+				tn.fab.countErr(n)
+				f.Eng.After(f.xmit(0), func() { done(nil, ErrLength) })
+				return
+			}
+			// The DMA instant: capture the region bytes now.
+			src := mr.source()
+			if length < len(src) {
+				src = src[:length]
+			}
+			data := make([]byte, len(src))
+			copy(data, src)
+			if f.AblationRDMATargetIRQ {
+				tn.node.RaiseNetIRQ(nil)
+			}
+			f.Eng.After(f.xmit(len(data)), func() { done(data, nil) })
+		})
+	})
+}
+
 // RDMARead posts a one-sided read of [0, length) of the remote region
 // (target node, key) from task t. The task blocks until the completion
 // arrives; then runs with the data read at the remote DMA instant.
@@ -465,53 +532,54 @@ func (n *NIC) RDMARead(t *simos.Task, target int, key uint32, length int, then f
 			c := v.(rdmaCompletion)
 			then(c.data, c.err)
 		})
-		n.RDMAReads++
-		var extra sim.Time
-		if f.Faults != nil {
-			v := f.Faults.RDMA(n.node.ID, target)
-			if v.Fail {
-				f.countErr(n)
-				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
-				return
-			}
-			extra = v.Delay
-		}
-		f.Eng.After(f.xmit(16)+extra, func() { // request descriptor to target NIC
-			tn := f.nics[target]
-			if tn == nil {
-				n.complete(t, rdmaCompletion{err: ErrNoRoute})
-				return
-			}
-			if tn.node.Down() {
-				f.countErr(n)
-				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
-				return
-			}
-			f.Eng.After(f.Cfg.NICService, func() {
-				mr := tn.mrs[key]
-				if mr == nil {
-					tn.fab.countErr(n)
-					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrBadKey})
-					return
-				}
-				if length > mr.size {
-					tn.fab.countErr(n)
-					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrLength})
-					return
-				}
-				// The DMA instant: capture the region bytes now.
-				src := mr.source()
-				if length < len(src) {
-					src = src[:length]
-				}
-				data := make([]byte, len(src))
-				copy(data, src)
-				if f.AblationRDMATargetIRQ {
-					tn.node.RaiseNetIRQ(nil)
-				}
-				n.completeAfter(t, f.xmit(len(data)), rdmaCompletion{data: data})
-			})
+		n.postRead(target, key, length, func(data []byte, err error) {
+			t.Resume(rdmaCompletion{data: data, err: err})
 		})
+	})
+}
+
+// ReadReq describes one work request of a doorbell-batched read.
+type ReadReq struct {
+	Target int
+	Key    uint32
+	Length int
+}
+
+// ReadResult is the completion of one work request in a batch.
+type ReadResult struct {
+	Data []byte
+	Err  error
+}
+
+// RDMAReadBatch posts len(reqs) one-sided reads with a single doorbell
+// ring: the initiator pays RDMAPostCost once for the doorbell plus
+// RDMAPostWRCost per additional work request, the reads traverse the
+// fabric concurrently, and the posting task wakes exactly once with
+// every completion — the coalesced-CQ-poll pattern of doorbell-batched
+// verbs, rather than one post+wakeup per read. Results are positional:
+// results[i] answers reqs[i]; per-request failures (bad key, dead
+// target) land in that slot's Err without disturbing its neighbours.
+func (n *NIC) RDMAReadBatch(t *simos.Task, reqs []ReadReq, then func(results []ReadResult)) {
+	f := n.fab
+	if len(reqs) == 0 {
+		t.Compute(0, func() { then(nil) })
+		return
+	}
+	cost := f.Cfg.RDMAPostCost + sim.Time(len(reqs)-1)*f.Cfg.RDMAPostWRCost
+	t.Compute(cost, func() {
+		t.Await(func(v any) { then(v.([]ReadResult)) })
+		n.DoorbellBatches++
+		results := make([]ReadResult, len(reqs))
+		remaining := len(reqs)
+		for i, rq := range reqs {
+			i, rq := i, rq
+			n.postRead(rq.Target, rq.Key, rq.Length, func(data []byte, err error) {
+				results[i] = ReadResult{Data: data, Err: err}
+				if remaining--; remaining == 0 {
+					t.Resume(results)
+				}
+			})
+		}
 	})
 }
 

@@ -23,11 +23,11 @@ func frame(body []byte) []byte {
 // when one is there.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0})                          // short header
-	f.Add(frame(nil))                               // empty body
-	f.Add(frame([]byte{opRead, 1, 2, 3}))           // valid-ish frame
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})           // 4GB length, no body
-	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0xAB})     // 16MB length, 1 byte
+	f.Add([]byte{0, 0, 0})                           // short header
+	f.Add(frame(nil))                                // empty body
+	f.Add(frame([]byte{opRead, 1, 2, 3}))            // valid-ish frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})            // 4GB length, no body
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0xAB})      // 16MB length, 1 byte
 	f.Add(append(frame([]byte{opCall}), 0xDE, 0xAD)) // trailing garbage
 	big := frame(bytes.Repeat([]byte{7}, 3*readChunk+17))
 	f.Add(big) // multi-chunk body

@@ -18,7 +18,15 @@
 //	opWrite   : u32 rkey, data                -> status
 //	opCall    : u8 portLen, port, payload     -> status, reply
 //	opCompSwap: u32 rkey, u64 compare, u64 swap -> status, u64 prev
+//	opReadPipe: u32 seq, u32 rkey, u32 maxLen -> status, u32 seq, data
 //	reply     := u32 length, u8 status, body
+//
+// opReadPipe is the pipelined form of opRead: an initiator posts k of
+// them back-to-back without waiting for replies (k reads in flight on
+// one connection, one round trip for the whole batch) and matches each
+// completion to its work request by the echoed seq — never by arrival
+// order, so a reordering or desynchronized peer can make a read fail
+// but can never mis-attribute one region's bytes to another request.
 package tcpverbs
 
 import (
@@ -39,6 +47,7 @@ const (
 	opWrite    = 2
 	opCall     = 3
 	opCompSwap = 4
+	opReadPipe = 5
 )
 
 // Status codes mirrored from the simulated fabric's completion errors.
@@ -166,7 +175,7 @@ type Agent struct {
 	// ServedReads counts reads served (for tests/metrics).
 	served struct {
 		sync.Mutex
-		reads, writes, calls, atomics uint64
+		reads, writes, calls, atomics, batched uint64
 	}
 
 	// atomics serializes compare-and-swap against every other CAS on
@@ -209,6 +218,14 @@ func (a *Agent) Atomics() uint64 {
 	a.served.Lock()
 	defer a.served.Unlock()
 	return a.served.atomics
+}
+
+// BatchedReads returns the number of reads served via the pipelined
+// opReadPipe path (a subset of the reads count).
+func (a *Agent) BatchedReads() uint64 {
+	a.served.Lock()
+	defer a.served.Unlock()
+	return a.served.batched
 }
 
 // RegisterMR pins a read-only region of size bytes served by src.
@@ -330,6 +347,12 @@ func (a *Agent) serve(c net.Conn) {
 			a.served.Lock()
 			a.served.atomics++
 			a.served.Unlock()
+		case opReadPipe:
+			status, resp = a.doReadPipe(body)
+			a.served.Lock()
+			a.served.reads++
+			a.served.batched++
+			a.served.Unlock()
 		default:
 			return
 		}
@@ -360,6 +383,21 @@ func (a *Agent) doRead(body []byte) (byte, []byte) {
 		data = data[:maxLen]
 	}
 	return statusOK, data
+}
+
+// doReadPipe serves one pipelined read: like doRead, but the request
+// carries a sequence number that is echoed ahead of the data so the
+// initiator can match the completion to its work request.
+func (a *Agent) doReadPipe(body []byte) (byte, []byte) {
+	if len(body) < 12 {
+		return statusLength, nil
+	}
+	seq := body[0:4]
+	status, data := a.doRead(body[4:])
+	resp := make([]byte, 4+len(data))
+	copy(resp, seq)
+	copy(resp[4:], data)
+	return status, resp
 }
 
 func (a *Agent) doWrite(body []byte) byte {
@@ -455,12 +493,13 @@ func (a *Agent) doCall(body []byte) (byte, []byte) {
 // back-end restarting on the same address is survived transparently,
 // and a dead one costs a bounded, predictable delay.
 type Conn struct {
-	mu     sync.Mutex
-	c      net.Conn
-	addr   string
-	opTmo  time.Duration
-	rng    *rand.Rand
-	closed bool
+	mu      sync.Mutex
+	c       net.Conn
+	addr    string
+	opTmo   time.Duration
+	rng     *rand.Rand
+	closed  bool
+	pipeSeq uint32
 
 	// Retry is the redial/replay policy; the zero value takes the
 	// documented defaults. Set it before issuing operations.
@@ -525,18 +564,19 @@ func (c *Conn) Close() error {
 	return c.c.Close()
 }
 
-func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// retrying runs op under the connection's redial-and-replay policy:
+// exponential backoff with ±Jitter/2 randomization, redial before each
+// retry, the stream poisoned after a failed attempt. Caller holds
+// c.mu; op must be idempotent.
+func (c *Conn) retrying(op func() error) error {
 	pol := c.Retry.withDefaults()
 	backoff := pol.Backoff
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if c.closed {
-			return 0, nil, ErrClosed
+			return ErrClosed
 		}
 		if attempt > 0 {
-			// Exponential backoff with ±Jitter/2 randomization.
 			d := backoff
 			if pol.Jitter > 0 {
 				f := 1 + pol.Jitter*(c.rng.Float64()-0.5)
@@ -552,14 +592,30 @@ func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
 				continue
 			}
 		}
-		status, body, err := c.attempt(frame)
-		if err == nil {
-			return status, body, nil
+		if err := op(); err != nil {
+			lastErr = err
+			c.c.Close() // poison the stream; next attempt redials
+			continue
 		}
-		lastErr = err
-		c.c.Close() // poison the stream; next attempt redials
+		return nil
 	}
-	return 0, nil, lastErr
+	return lastErr
+}
+
+func (c *Conn) roundTrip(frame []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var status byte
+	var body []byte
+	err := c.retrying(func() error {
+		var e error
+		status, body, e = c.attempt(frame)
+		return e
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
 }
 
 // attempt performs one write+read under the operation deadline.
@@ -606,6 +662,124 @@ func (c *Conn) RDMARead(rkey uint32, length int) ([]byte, error) {
 		return nil, err
 	}
 	return data, statusErr(status)
+}
+
+// BatchRead describes one read in a pipelined batch.
+type BatchRead struct {
+	RKey   uint32
+	Length int
+}
+
+// BatchResult is one completion of a pipelined batch, in the same
+// position as its work request. Err carries per-read verb errors
+// (ErrBadKey, ErrLength, ...); transport failures abort the whole
+// batch instead.
+type BatchResult struct {
+	Data []byte
+	Err  error
+}
+
+// RDMAReadBatch posts every read back-to-back on the connection
+// without waiting for replies — k reads in flight, one round trip for
+// the whole batch — then matches each completion to its work request
+// by the echoed sequence number. This is the TCP analogue of a
+// doorbell-batched multi-WR post.
+//
+// A transport failure (or any desynchronization: duplicate, unknown
+// or missing seq) aborts the batch and triggers redial-and-replay of
+// the whole batch under the connection's retry policy; reads are
+// idempotent, so replaying a possibly-served batch is safe. Fresh
+// sequence numbers are drawn per attempt, so a stale reply from an
+// aborted attempt can never satisfy a later one.
+func (c *Conn) RDMAReadBatch(reqs []BatchRead) ([]BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var results []BatchResult
+	err := c.retrying(func() error {
+		var e error
+		results, e = c.attemptBatch(reqs)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// attemptBatch performs one pipelined write-all-then-read-all pass
+// under the operation deadline. Caller holds c.mu.
+func (c *Conn) attemptBatch(reqs []BatchRead) ([]BatchResult, error) {
+	seqs := make([]uint32, len(reqs))
+	var buf []byte
+	for i, rq := range reqs {
+		c.pipeSeq++
+		seqs[i] = c.pipeSeq
+		var frame [17]byte
+		binary.BigEndian.PutUint32(frame[0:], 13)
+		frame[4] = opReadPipe
+		binary.BigEndian.PutUint32(frame[5:], seqs[i])
+		binary.BigEndian.PutUint32(frame[9:], rq.RKey)
+		binary.BigEndian.PutUint32(frame[13:], uint32(rq.Length))
+		buf = append(buf, frame[:]...)
+	}
+	c.c.SetDeadline(time.Now().Add(c.opTmo))
+	if _, err := c.c.Write(buf); err != nil {
+		return nil, err
+	}
+	return collectBatchReplies(c.c, seqs)
+}
+
+// collectBatchReplies reads len(seqs) reply frames from r and
+// attributes each to the work request whose seq it echoes. Any
+// desynchronization — a reply too short to carry a seq, an unknown
+// seq, a duplicate completion — is a transport-level error for the
+// whole batch: a confused stream may fail a batch but can never
+// mis-attribute one request's bytes to another. Factored out so the
+// fuzzer can drive it with arbitrary byte streams.
+func collectBatchReplies(r io.Reader, seqs []uint32) ([]BatchResult, error) {
+	slot := make(map[uint32]int, len(seqs))
+	for i, s := range seqs {
+		if _, dup := slot[s]; dup {
+			return nil, fmt.Errorf("tcpverbs: duplicate seq %d posted in batch", s)
+		}
+		slot[s] = i
+	}
+	results := make([]BatchResult, len(seqs))
+	filled := make([]bool, len(seqs))
+	for n := 0; n < len(seqs); n++ {
+		body, err := readFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) < 5 {
+			return nil, fmt.Errorf("tcpverbs: pipelined reply too short to carry a seq")
+		}
+		status := body[0]
+		if status > statusNoHandler {
+			// Statuses come only from our own agent; an unknown byte
+			// here means the stream is corrupt, not that one read
+			// failed.
+			return nil, fmt.Errorf("tcpverbs: unknown status %d in pipelined reply", status)
+		}
+		seq := binary.BigEndian.Uint32(body[1:5])
+		i, ok := slot[seq]
+		if !ok {
+			return nil, fmt.Errorf("tcpverbs: completion for unknown seq %d", seq)
+		}
+		if filled[i] {
+			return nil, fmt.Errorf("tcpverbs: duplicate completion for seq %d", seq)
+		}
+		filled[i] = true
+		if err := statusErr(status); err != nil {
+			results[i] = BatchResult{Err: err}
+			continue
+		}
+		results[i] = BatchResult{Data: append([]byte(nil), body[5:]...)}
+	}
+	return results, nil
 }
 
 // RDMAWrite stores data into the remote region (if writable).
