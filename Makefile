@@ -6,9 +6,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke bench bench-baseline bench-check clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke hybrid-smoke bench bench-baseline bench-check clean
 
-ci: vet build race bench-check fuzz chaos-smoke ha-smoke
+ci: vet build race bench-check fuzz chaos-smoke ha-smoke hybrid-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadBatch -fuzztime=$(FUZZTIME) ./internal/tcpverbs
 	$(GO) test -run=^$$ -fuzz=FuzzProcfsParsers -fuzztime=$(FUZZTIME) ./internal/procfs
 	$(GO) test -run=^$$ -fuzz=FuzzLeaseRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzPushRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Randomized failover chaos: three seeded fault plans, invariants
 # asserted, non-zero exit on any violation.
@@ -47,19 +48,25 @@ chaos-smoke:
 ha-smoke:
 	$(GO) run ./cmd/rmbench -exp ha -quick -seeds 3
 
+# Hybrid push/pull contract: >= 10x fewer probe WRs than all-pull at
+# the same effective-staleness bound, non-zero exit on any violation.
+hybrid-smoke:
+	$(GO) run ./cmd/rmbench -exp hybrid -quick
+
 # One-command reproduction pass over the paper's tables and figures.
 bench:
 	$(GO) test -bench . -benchtime 1x
 
-# Probe-engine regression gate: replay the deterministic 256-backend
-# scale point and fail on >15% regression vs the committed baseline.
+# Probe-engine regression gates: replay the deterministic 256-backend
+# scale point and the 512-backend hybrid comparison, failing on >15%
+# regression vs the committed baselines.
 bench-check:
-	$(GO) test -run 'TestBenchScaleRegression' .
+	$(GO) test -run 'TestBenchScaleRegression|TestBenchHybridRegression' .
 
-# Regenerate BENCH_scale.json after an intentional cost-model change
-# (commit the result).
+# Regenerate BENCH_scale.json / BENCH_hybrid.json after an intentional
+# cost-model change (commit the result).
 bench-baseline:
-	BENCH_WRITE=1 $(GO) test -run 'TestBenchScaleRegression' .
+	BENCH_WRITE=1 $(GO) test -run 'TestBenchScaleRegression|TestBenchHybridRegression' .
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,99 @@
+// Benchmark and regression gate for the hybrid push/pull scheme
+// (DESIGN.md §11). `make bench-check` replays the 512-back-end hybrid
+// comparison and fails on a >15% regression against the committed
+// BENCH_hybrid.json; `make bench-baseline` regenerates that file after
+// an intentional cost-model change.
+package rdmamon_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"rdmamon/internal/experiments"
+)
+
+const benchHybridFile = "BENCH_hybrid.json"
+
+type hybridBaseline struct {
+	Backends     int     `json:"backends"`
+	ProbeWRs     uint64  `json:"probe_wrs"`
+	PushWRs      uint64  `json:"push_wrs"`
+	WRRatio      float64 `json:"probe_wr_reduction_x"`
+	EffStaleMaxT float64 `json:"eff_stale_max_t"`
+}
+
+// benchHybridPoint runs the gate configuration: the full 512-back-end
+// hybrid-vs-all-pull comparison. The simulation is deterministic, so
+// the figures are exactly reproducible; the tolerance only absorbs
+// intentional small cost-model adjustments.
+func benchHybridPoint(t testing.TB) hybridBaseline {
+	d := experiments.Hybrid(experiments.Options{})
+	if d.Failed {
+		t.Fatalf("hybrid run violated its own contract:\n%v", d.Notes)
+	}
+	hyb := d.Points[1]
+	return hybridBaseline{
+		Backends: hyb.Backends,
+		ProbeWRs: hyb.ProbeWRs, PushWRs: hyb.PushWRs,
+		WRRatio: d.WRRatio, EffStaleMaxT: hyb.EffStaleMaxT,
+	}
+}
+
+// BenchmarkHybrid512 reports the hybrid scheme's headline figures at
+// the gate configuration: probe work requests over the measurement
+// window, the reduction over all-pull, and the worst effective
+// staleness in probe periods.
+func BenchmarkHybrid512(b *testing.B) {
+	var p hybridBaseline
+	for i := 0; i < b.N; i++ {
+		p = benchHybridPoint(b)
+	}
+	b.ReportMetric(float64(p.ProbeWRs), "sim-probe-wrs")
+	b.ReportMetric(p.WRRatio, "probe-wr-reduction-x")
+	b.ReportMetric(p.EffStaleMaxT, "sim-eff-stale-max-T")
+}
+
+// TestBenchHybridRegression is the bench-check gate for the hybrid
+// scheme: probe-WR count and staleness must not drift past tolerance.
+// With BENCH_WRITE=1 it rewrites the baseline instead (the
+// bench-baseline target).
+func TestBenchHybridRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow benchmark gate; skipped with -short")
+	}
+	got := benchHybridPoint(t)
+	if os.Getenv("BENCH_WRITE") == "1" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchHybridFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline rewritten: %+v", got)
+		return
+	}
+	raw, err := os.ReadFile(benchHybridFile)
+	if err != nil {
+		t.Fatalf("no committed baseline (run `make bench-baseline` and commit it): %v", err)
+	}
+	var want hybridBaseline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", benchHybridFile, err)
+	}
+	if got.Backends != want.Backends {
+		t.Fatalf("gate configuration drifted: measured %+v, baseline %+v", got, want)
+	}
+	const tol = 1.15
+	if float64(got.ProbeWRs) > float64(want.ProbeWRs)*tol {
+		t.Errorf("probe WRs regressed: %d vs baseline %d (>%.0f%% worse)",
+			got.ProbeWRs, want.ProbeWRs, (tol-1)*100)
+	}
+	if got.WRRatio*tol < want.WRRatio {
+		t.Errorf("probe-WR reduction regressed: %.1fx vs baseline %.1fx", got.WRRatio, want.WRRatio)
+	}
+	if got.EffStaleMaxT > want.EffStaleMaxT*tol {
+		t.Errorf("effective staleness regressed: %.1fT vs baseline %.1fT", got.EffStaleMaxT, want.EffStaleMaxT)
+	}
+}

@@ -30,6 +30,9 @@ func main() {
 		nback  = flag.Int("backends", 0, "pin -exp scale to one back-end count (0 = sweep)")
 		shards = flag.Int("shards", 0, "pin -exp scale to one shard count (0 = sweep)")
 		batch  = flag.Int("batch", 0, "pin -exp scale to one doorbell batch size (0 = sweep)")
+		pushTh = flag.Float64("push-threshold", 0, "-exp hybrid: load-index delta that triggers a push (0 = default 0.05)")
+		perMin = flag.Int("period-min", 0, "-exp hybrid: fastest adaptive probe period, in probe periods T (0 = default 1)")
+		perMax = flag.Int("period-max", 0, "-exp hybrid: slowest adaptive probe period, in probe periods T (0 = default 64)")
 		format = flag.String("format", "table", "output format: table, csv, plot")
 	)
 	flag.Parse()
@@ -52,6 +55,7 @@ func main() {
 	opts := experiments.Options{
 		Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds,
 		Backends: *nback, Shards: *shards, Batch: *batch,
+		PushThreshold: *pushTh, PeriodMin: *perMin, PeriodMax: *perMax,
 	}
 	failed := false
 	for _, id := range ids {

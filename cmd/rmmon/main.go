@@ -20,6 +20,7 @@ import (
 
 	"rdmamon/internal/core"
 	"rdmamon/internal/livemon"
+	"rdmamon/internal/sim"
 	"rdmamon/internal/wire"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		runProbe(os.Args[2:])
 	case "once":
 		runOnce(os.Args[2:])
+	case "pushhost":
+		runPushHost(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -45,10 +48,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `rmmon — live fine-grained resource monitoring
 
 subcommands:
-  agent  -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>] [-host-lease]
-  probe  -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
-         [-burst k] [-lease <replica-id> [-witness <addr>]]
-  once   -target <addr>
+  agent    -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>] [-host-lease]
+           [-push-to <addr> [-push-threshold x] [-push-heartbeat <dur>]]
+  probe    -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
+           [-burst k] [-lease <replica-id> [-witness <addr>]]
+           [-period-max <dur> [-push-threshold x]]
+  once     -target <addr>
+  pushhost -listen <addr> -nodes <id,...> [-count n]
 
 schemes: socket-async, socket-sync, rdma-async, rdma-sync, e-rdma-sync`)
 }
@@ -70,14 +76,25 @@ func runAgent(args []string) {
 	interval := fs.Duration("interval", 50*time.Millisecond, "async refresh period")
 	mrFlap := fs.Duration("mr-flap", 0, "chaos: invalidate the RDMA region every interval, re-pinning after 1/4 of it")
 	hostLease := fs.Bool("host-lease", false, "witness role: host the front-end lease word for one-sided CAS")
+	pushTo := fs.String("push-to", "", "hybrid scheme: RDMA-Write delta records to this push host")
+	pushTh := fs.Float64("push-threshold", 0, "hybrid scheme: load-index delta that triggers a push (0 = default 0.05)")
+	pushHB := fs.Duration("push-heartbeat", 0, "hybrid scheme: max silence before a forced push (0 = default 16x check)")
 	fs.Parse(args)
 
+	var push *livemon.PusherConfig
+	if *pushTo != "" {
+		push = &livemon.PusherConfig{
+			Target: *pushTo, Threshold: *pushTh,
+			Check: *interval, Heartbeat: *pushHB,
+		}
+	}
 	a, err := livemon.StartAgent(livemon.Config{
 		Scheme:    mustScheme(*scheme),
 		Addr:      *listen,
 		NodeID:    uint16(*node),
 		Interval:  *interval,
 		HostLease: *hostLease,
+		Push:      push,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmmon agent:", err)
@@ -107,6 +124,8 @@ func runProbe(args []string) {
 	burst := fs.Int("burst", 1, "pipelined reads per probe cycle (RDMA schemes): k distinct samples in ~one round trip")
 	leaseID := fs.Int("lease", 0, "front-end replica id (1-based): contend for the dispatch lease hosted by the witness in -witness")
 	witness := fs.String("witness", "", "witness agent address hosting the lease word (default: first target)")
+	periodMax := fs.Duration("period-max", 0, "adaptive polling: decay quiet targets' poll period up to this ceiling (0 = fixed period)")
+	pushTh := fs.Float64("push-threshold", 0, "adaptive polling: load-index delta that counts as change (0 = default 0.05)")
 	fs.Parse(args)
 	if *targets == "" {
 		fmt.Fprintln(os.Stderr, "rmmon probe: -targets required")
@@ -141,6 +160,35 @@ func runProbe(args []string) {
 		lease = lc
 	}
 	w := core.DefaultWeights()
+	// Adaptive polling state (-period-max): per-target controller, last
+	// observed record and next-due instant.
+	threshold := *pushTh
+	if threshold <= 0 {
+		threshold = 0.05
+	}
+	ctrls := make([]*core.PeriodController, len(probes))
+	obs := make([]wire.LoadRecord, len(probes))
+	obsHas := make([]bool, len(probes))
+	due := make([]time.Time, len(probes))
+	if *periodMax > 0 {
+		for i := range ctrls {
+			ctrls[i] = &core.PeriodController{Cfg: core.PeriodConfig{
+				Min: sim.Time(*interval), Max: sim.Time(*periodMax),
+			}}
+		}
+	}
+	observe := func(i int, rec wire.LoadRecord, err error) {
+		if ctrls[i] == nil {
+			return
+		}
+		changed := err != nil || !obsHas[i] || core.LoadDelta(rec, obs[i]) >= threshold
+		if err == nil {
+			obs[i] = rec
+			obsHas[i] = true
+		}
+		held := lease == nil || lease.Valid()
+		due[i] = time.Now().Add(time.Duration(ctrls[i].Observe(changed, core.Healthy, held)))
+	}
 	for cycle := 0; *count == 0 || cycle < *count; cycle++ {
 		start := time.Now()
 		if lease != nil {
@@ -149,6 +197,9 @@ func runProbe(args []string) {
 				lease.Role(), lease.Epoch(), lease.Valid(), tk, rn, dp)
 		}
 		for i, p := range probes {
+			if ctrls[i] != nil && time.Now().Before(due[i]) {
+				continue
+			}
 			if *burst > 1 && p.Scheme().UsesRDMA() {
 				recs, err := p.FetchBurst(*burst)
 				if err != nil {
@@ -161,6 +212,7 @@ func runProbe(args []string) {
 				continue
 			}
 			rec, tr, err := p.FetchVia()
+			observe(i, rec, err)
 			if err != nil {
 				fmt.Printf("%-22s ERROR %v\n", addrs[i], err)
 				continue
@@ -172,6 +224,49 @@ func runProbe(args []string) {
 			printRecord(addrs[i], rec, w.Index(rec), time.Since(start), via)
 		}
 		time.Sleep(*interval)
+	}
+}
+
+func runPushHost(args []string) {
+	fs := flag.NewFlagSet("pushhost", flag.ExitOnError)
+	listen := fs.String("listen", ":9378", "listen address")
+	nodes := fs.String("nodes", "", "comma-separated back-end node ids to host slots for")
+	count := fs.Int("count", 0, "number of 1s status lines to print (0 = forever)")
+	fs.Parse(args)
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "rmmon pushhost: -nodes required")
+		os.Exit(2)
+	}
+	var ids []uint16
+	for _, f := range strings.Split(*nodes, ",") {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &id); err != nil {
+			fmt.Fprintf(os.Stderr, "rmmon pushhost: bad node id %q\n", f)
+			os.Exit(2)
+		}
+		ids = append(ids, uint16(id))
+	}
+	h, err := livemon.StartPushHost(*listen, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmmon pushhost:", err)
+		os.Exit(1)
+	}
+	defer h.Close()
+	fmt.Printf("rmmon pushhost: listening on %s, slots for nodes %v\n", h.Addr(), ids)
+	w := core.DefaultWeights()
+	for cycle := 0; *count == 0 || cycle < *count; cycle++ {
+		time.Sleep(time.Second)
+		rx, torn := h.Stats()
+		fmt.Printf("pushes=%d torn=%d\n", rx, torn)
+		for _, id := range ids {
+			rec, at, ok := h.Latest(id)
+			if !ok {
+				fmt.Printf("  node %-5d (no pushes yet)\n", id)
+				continue
+			}
+			printRecord(fmt.Sprintf("node %d", id), rec.Load, w.Index(rec.Load),
+				time.Since(at).Round(time.Millisecond), " pushed")
+		}
 	}
 }
 

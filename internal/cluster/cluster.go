@@ -88,6 +88,13 @@ type Config struct {
 	// socket schemes, which have nothing to fail over from.
 	Failover *core.FailoverConfig
 
+	// Hybrid, if non-nil, turns on the hybrid push/pull scheme on the
+	// RDMA schemes (see core.HybridConfig): every back-end runs a
+	// change-threshold delta pusher writing into the front-end monitor's
+	// aggregation region, and the monitor adapts each back-end's poll
+	// period to its change rate. Ignored under the socket schemes.
+	Hybrid *core.HybridConfig
+
 	// Replicas is the number of front-end replicas. Zero or one keeps
 	// the seed topology: a single front-end on node 0, no lease. With
 	// R > 1 the front-end is replicated for availability: replica 0
@@ -141,6 +148,13 @@ type Cluster struct {
 	Policy     loadbalance.Policy
 	Dispatcher *httpsim.Dispatcher
 
+	// Pushers are the back-end delta pushers of the hybrid scheme
+	// (Cfg.Hybrid on an RDMA scheme), indexed like Backends. They write
+	// into the primary front-end's aggregation region, resolving the
+	// slot key per push so monitor replacement and slot re-pinning are
+	// survived transparently.
+	Pushers []*core.DeltaPusher
+
 	// Replicated front-end (Cfg.Replicas > 1). FrontEnds[0] aliases
 	// Front/Monitor/Policy/Dispatcher; Witness hosts the lease vault.
 	FrontEnds  []*Replica
@@ -177,6 +191,12 @@ func New(cfg Config) *Cluster {
 		// against a crashed report thread would stall the cycle forever.
 		cfg.ProbeTimeout = cfg.Poll
 	}
+	if cfg.Hybrid != nil {
+		// Normalise once so the monitor's controller and every pusher
+		// share the same resolved thresholds and periods.
+		h := cfg.Hybrid.WithDefaults(cfg.Poll)
+		cfg.Hybrid = &h
+	}
 	c := &Cluster{Cfg: cfg, extCursor: simnet.ExternalBase}
 	c.Eng = sim.NewEngine(cfg.Seed)
 	c.Rand = rand.New(rand.NewSource(cfg.Seed + 1))
@@ -204,6 +224,12 @@ func New(cfg Config) *Cluster {
 		if cfg.Failover != nil && cfg.Scheme.UsesRDMA() {
 			c.Monitor.ArmFailover(*cfg.Failover)
 		}
+		if c.Monitor.Sink != nil {
+			c.Pushers = make([]*core.DeltaPusher, cfg.Backends)
+			for i := range c.Backends {
+				c.startPusher(i)
+			}
+		}
 	}
 	c.Policy = c.buildPolicy()
 	if !cfg.NoServers {
@@ -213,6 +239,21 @@ func New(cfg Config) *Cluster {
 		c.buildHA()
 	}
 	return c
+}
+
+// startPusher launches the hybrid delta pusher on back-end index i.
+// The slot-key closure resolves through the *current* primary monitor
+// on every push, so a replaced monitor or re-pinned slot is picked up
+// without restarting the pusher.
+func (c *Cluster) startPusher(i int) {
+	b := i + 1
+	c.Pushers[i] = core.StartDeltaPusher(c.Backends[i], c.BNICs[i], c.Front.ID,
+		func() uint32 {
+			if c.Monitor == nil || c.Monitor.Sink == nil {
+				return 0
+			}
+			return c.Monitor.Sink.SlotKey(b)
+		}, *c.Cfg.Hybrid)
 }
 
 // wireDispatcher starts a dispatcher on node and blends its local
@@ -299,6 +340,14 @@ func (c *Cluster) armLease(r *Replica) {
 		eng := c.Eng
 		r.Dispatcher.Fence = func() bool { return lm.Lease.Valid(eng.Now()) }
 	}
+	if r.Monitor != nil {
+		// The adaptive poll controller only decays on the lease holder:
+		// a standby keeps the fast sweep so its load view is warm the
+		// instant it seizes primaryship.
+		lm := r.LeaseMgr
+		eng := c.Eng
+		r.Monitor.LeaseValid = func() bool { return lm.Lease.Valid(eng.Now()) }
+	}
 }
 
 // restartReplica reboots a crashed front-end replica: fresh monitor
@@ -314,6 +363,21 @@ func (c *Cluster) restartReplica(r *Replica) {
 	if c.OnReplicaRestart != nil {
 		c.OnReplicaRestart(r)
 	}
+}
+
+// monitors lists every live monitor: the primary plus any standby
+// replicas' (deduplicated — FrontEnds[0].Monitor aliases Monitor).
+func (c *Cluster) monitors() []*core.Monitor {
+	var ms []*core.Monitor
+	if c.Monitor != nil {
+		ms = append(ms, c.Monitor)
+	}
+	for _, r := range c.FrontEnds {
+		if r.Monitor != nil && r.Monitor != c.Monitor {
+			ms = append(ms, r.Monitor)
+		}
+	}
+	return ms
 }
 
 // replicaByNode maps a node ID to its front-end replica, if any.
@@ -353,7 +417,11 @@ func (c *Cluster) Primary() *Replica {
 // monitorConfig maps the cluster's sharding/batching knobs onto the
 // probe engine's config (zero values = the sequential monitor).
 func (c *Cluster) monitorConfig() core.MonitorConfig {
-	return core.MonitorConfig{Shards: c.Cfg.MonitorShards, Batch: c.Cfg.MonitorBatch}
+	return core.MonitorConfig{
+		Shards: c.Cfg.MonitorShards,
+		Batch:  c.Cfg.MonitorBatch,
+		Hybrid: c.Cfg.Hybrid,
+	}
 }
 
 // agentConfig is the per-backend agent configuration, shared by New
@@ -558,6 +626,12 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 		if !c.Cfg.NoMonitor && c.Agents[i] != nil {
 			c.Agents[i].Stop()
 		}
+		if len(c.Pushers) > i && c.Pushers[i] != nil {
+			// Node.Crash already killed the push task mid-flight; mark the
+			// wrapper stopped so a landing completion does not restart it.
+			c.Pushers[i].Stop()
+			c.Pushers[i] = nil
+		}
 	}
 	in.OnRestart = func(node int) {
 		if r := c.replicaByNode(node); r != nil {
@@ -585,6 +659,9 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 				}
 			}
 		}
+		if c.Pushers != nil {
+			c.startPusher(i)
+		}
 	}
 	in.OnMRInvalidate = func(node int) {
 		i := idx(node)
@@ -596,6 +673,15 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 			repin = 100 * sim.Millisecond
 		}
 		c.Agents[i].InvalidateMR(repin)
+		// Under the hybrid scheme the same MR event also invalidates the
+		// back-end's slot of the front-end aggregation region: pushes
+		// fail until the slot re-pins with a fresh key, exactly like
+		// probes against the agent's invalidated record region.
+		for _, m := range c.monitors() {
+			if m.Sink != nil {
+				m.Sink.InvalidateSlot(node, repin)
+			}
+		}
 	}
 	in.Install(c.Fab, nodes)
 	return in

@@ -11,13 +11,22 @@ const (
 	TransportRDMA Transport = iota
 	// TransportSocket is the standby request/response path.
 	TransportSocket
+	// TransportPush is the agent-initiated one-sided write path of the
+	// hybrid scheme: the back-end RDMA-Writes a delta record into the
+	// front-end's aggregation slot instead of waiting to be read.
+	TransportPush
 )
 
 func (t Transport) String() string {
-	if t == TransportRDMA {
+	switch t {
+	case TransportRDMA:
 		return "rdma"
+	case TransportSocket:
+		return "socket"
+	case TransportPush:
+		return "push"
 	}
-	return "socket"
+	return "?"
 }
 
 // FailoverConfig tunes a per-backend transport breaker. The zero value

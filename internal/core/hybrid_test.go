@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simos"
+	"rdmamon/internal/wire"
+)
+
+// startBusy spins CPU-bound compute loops on a node, so its load index
+// visibly moves.
+func startBusy(n *simos.Node, threads int, batch sim.Time) {
+	for i := 0; i < threads; i++ {
+		n.Spawn(fmt.Sprintf("busy-%d", i), func(tk *simos.Task) {
+			var loop func()
+			loop = func() { tk.Compute(batch, loop) }
+			loop()
+		})
+	}
+}
+
+// healthFrom maps an arbitrary byte onto a health state, for property
+// inputs.
+func healthFrom(b uint8) Health {
+	return Health(int(b) % 5)
+}
+
+// TestPeriodControllerBounds: whatever observation sequence the
+// controller sees, the period stays within [Min, Max].
+func TestPeriodControllerBounds(t *testing.T) {
+	cfg := PeriodConfig{Min: 10 * sim.Millisecond, Max: 160 * sim.Millisecond, Grow: 2}
+	f := func(changes []bool, healths []uint8, leases []bool) bool {
+		pc := &PeriodController{Cfg: cfg}
+		if pc.Period() != cfg.Min {
+			return false
+		}
+		n := len(changes)
+		if len(healths) < n {
+			n = len(healths)
+		}
+		if len(leases) < n {
+			n = len(leases)
+		}
+		for i := 0; i < n; i++ {
+			p := pc.Observe(changes[i], healthFrom(healths[i]), leases[i])
+			if p < cfg.Min || p > cfg.Max || p != pc.Period() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodControllerMonotoneInChangeRate: a controller that observes
+// every change another one does, plus possibly more, never polls
+// slower than it — pointwise, at every step.
+func TestPeriodControllerMonotoneInChangeRate(t *testing.T) {
+	cfg := PeriodConfig{Min: 10 * sim.Millisecond, Max: 320 * sim.Millisecond, Grow: 2}
+	f := func(base []bool, extra []bool) bool {
+		quiet := &PeriodController{Cfg: cfg}
+		busy := &PeriodController{Cfg: cfg}
+		n := len(base)
+		if len(extra) < n {
+			n = len(extra)
+		}
+		for i := 0; i < n; i++ {
+			pq := quiet.Observe(base[i], Healthy, true)
+			pb := busy.Observe(base[i] || extra[i], Healthy, true)
+			if pb > pq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodControllerSnapsOnTrouble: from any warmed-up state, a
+// single observation carrying a trouble signal — non-Healthy state or
+// a lost lease — forces the fast period immediately.
+func TestPeriodControllerSnapsOnTrouble(t *testing.T) {
+	cfg := PeriodConfig{Min: 10 * sim.Millisecond, Max: 160 * sim.Millisecond, Grow: 2}
+	f := func(warmup []bool, kind uint8) bool {
+		pc := &PeriodController{Cfg: cfg}
+		for _, ch := range warmup {
+			pc.Observe(ch, Healthy, true)
+		}
+		var p sim.Time
+		switch kind % 3 {
+		case 0:
+			p = pc.Observe(false, Suspect, true)
+		case 1:
+			p = pc.Observe(false, Degraded, true)
+		default:
+			p = pc.Observe(false, Healthy, false) // lease lost
+		}
+		return p == cfg.Min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodControllerDecaySchedule pins the deterministic decay path:
+// quiet Healthy leased observations double the period up to Max, and
+// one change snaps it back.
+func TestPeriodControllerDecaySchedule(t *testing.T) {
+	cfg := PeriodConfig{Min: 10 * sim.Millisecond, Max: 80 * sim.Millisecond, Grow: 2}
+	pc := &PeriodController{Cfg: cfg}
+	want := []sim.Time{20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := pc.Observe(false, Healthy, true); got != w*sim.Millisecond {
+			t.Fatalf("step %d: period = %v, want %v", i, got, w*sim.Millisecond)
+		}
+	}
+	if got := pc.Observe(true, Healthy, true); got != cfg.Min {
+		t.Fatalf("after change: period = %v, want %v", got, cfg.Min)
+	}
+}
+
+func TestHybridConfigDefaults(t *testing.T) {
+	h := HybridConfig{}.WithDefaults(10 * sim.Millisecond)
+	if h.Threshold != 0.05 {
+		t.Fatalf("threshold = %v", h.Threshold)
+	}
+	if h.Period.Min != 10*sim.Millisecond || h.Period.Max != 160*sim.Millisecond {
+		t.Fatalf("period = %+v", h.Period)
+	}
+	if h.Heartbeat != h.Period.Max || h.Check != h.Period.Min {
+		t.Fatalf("heartbeat/check = %v/%v", h.Heartbeat, h.Check)
+	}
+}
+
+func TestLoadDeltaSymmetricZero(t *testing.T) {
+	a := wire.LoadRecord{NumCPU: 2, NrRunning: 4, Conns: 10, MemUsedKB: 1 << 18, MemTotalKB: 1 << 20}
+	a.UtilPerMille[0] = 700
+	b := a
+	b.Seq = 99
+	b.KTimeNS = 5e9
+	if LoadDelta(a, b) != 0 {
+		t.Fatal("seq/ktime must not move the delta")
+	}
+	b.UtilPerMille[0] = 100
+	b.UtilPerMille[1] = 100
+	if d1, d2 := LoadDelta(a, b), LoadDelta(b, a); d1 != d2 || d1 <= 0 {
+		t.Fatalf("delta not symmetric positive: %v vs %v", d1, d2)
+	}
+}
+
+// hybridCfg is the hybrid tuning the monitor tests share: fast sweep
+// 10ms, ceiling 160ms.
+func hybridCfg() *HybridConfig {
+	return &HybridConfig{
+		Threshold: 0.05,
+		Period:    PeriodConfig{Min: 10 * sim.Millisecond, Max: 160 * sim.Millisecond, Grow: 2},
+		Heartbeat: 320 * sim.Millisecond,
+		Check:     10 * sim.Millisecond,
+	}
+}
+
+// TestHybridMonitorDecaysQuietBackend: an idle back-end's poll period
+// decays to the ceiling and probe reads drop well below the all-pull
+// budget, while the cached record stays available.
+func TestHybridMonitorDecaysQuietBackend(t *testing.T) {
+	r := newRig(31)
+	a := r.agent(RDMASync)
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: hybridCfg()})
+	r.eng.RunUntil(2 * sim.Second)
+	if m.ProbePeriod(1) != 160*sim.Millisecond {
+		t.Fatalf("period = %v, want decayed to 160ms", m.ProbePeriod(1))
+	}
+	if m.Decayed == 0 {
+		t.Fatal("no probe slots were skipped")
+	}
+	// All-pull would issue ~200 reads in 2s at 10ms; the decayed
+	// schedule issues ~2s/160ms plus the decay transient.
+	if reads := r.fnic.RDMAReads; reads >= 60 || reads < 5 {
+		t.Fatalf("probe reads = %d, want a small fraction of 200", reads)
+	}
+	if _, _, ok := m.Latest(1); !ok {
+		t.Fatal("no cached record")
+	}
+}
+
+// TestHybridPushRefreshesCacheAndSnapsPeriod: a quiet back-end decays;
+// when its load moves, the delta pusher lands a record (without
+// waiting for the decayed poll) and the poll period snaps back to the
+// fast sweep.
+func TestHybridPushRefreshesCacheAndSnapsPeriod(t *testing.T) {
+	r := newRig(32)
+	a := r.agent(RDMASync)
+	h := hybridCfg()
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: h})
+	p := StartDeltaPusher(r.backend, r.bnic, 0, func() uint32 { return m.Sink.SlotKey(1) }, *h)
+
+	r.eng.RunUntil(1500 * sim.Millisecond)
+	if m.ProbePeriod(1) != h.Period.Max {
+		t.Fatalf("pre-change period = %v, want %v", m.ProbePeriod(1), h.Period.Max)
+	}
+	preReceived := m.Sink.Received
+
+	var sawPush bool
+	mp := m.Probers[1]
+	mp.OnRecord = func(rec wire.LoadRecord, at sim.Time) {
+		if mp.LastTransport == TransportPush {
+			sawPush = true
+		}
+	}
+	startBusy(r.backend, 6, 5*sim.Millisecond)
+	// The period snaps to Min when the delta push lands, then may decay
+	// again once the (now high) load stabilises — sample the minimum.
+	minPeriod := m.ProbePeriod(1)
+	for i := 0; i < 12; i++ {
+		r.eng.RunFor(5 * sim.Millisecond)
+		if p := m.ProbePeriod(1); p < minPeriod {
+			minPeriod = p
+		}
+	}
+
+	if m.Sink.Received <= preReceived {
+		t.Fatalf("no delta push landed after load change (rx %d -> %d)",
+			preReceived, m.Sink.Received)
+	}
+	if !sawPush {
+		t.Fatal("cache was never refreshed via the push transport")
+	}
+	if minPeriod != h.Period.Min {
+		t.Fatalf("post-change period bottomed at %v, want snapped to %v", minPeriod, h.Period.Min)
+	}
+	if m.Sink.Torn != 0 {
+		t.Fatalf("torn pushes: %d", m.Sink.Torn)
+	}
+	if p.Errors != 0 {
+		t.Fatalf("push errors: %d", p.Errors)
+	}
+	rec, _, ok := m.Latest(1)
+	if !ok || rec.NrRunning == 0 {
+		t.Fatalf("cached record missed the load change: %+v ok=%v", rec, ok)
+	}
+}
+
+// TestHybridHeartbeatDoesNotSnapPeriod: heartbeat pushes (quiet, just
+// proving freshness) refresh the cache but let the period keep
+// decaying — only real index movement snaps it.
+func TestHybridHeartbeatDoesNotSnapPeriod(t *testing.T) {
+	r := newRig(33)
+	a := r.agent(RDMASync)
+	h := hybridCfg()
+	h.Heartbeat = 100 * sim.Millisecond
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: h})
+	StartDeltaPusher(r.backend, r.bnic, 0, func() uint32 { return m.Sink.SlotKey(1) }, *h)
+	r.eng.RunUntil(2 * sim.Second)
+	if m.Sink.Received < 10 {
+		t.Fatalf("heartbeat pushes = %d, want ~20", m.Sink.Received)
+	}
+	if m.ProbePeriod(1) != h.Period.Max {
+		t.Fatalf("period = %v, want decayed to %v despite heartbeats",
+			m.ProbePeriod(1), h.Period.Max)
+	}
+	// The cache must be heartbeat-fresh, far newer than the decayed
+	// poll alone would keep it.
+	_, at, ok := m.Latest(1)
+	if !ok || r.eng.Now()-at > h.Heartbeat+20*sim.Millisecond {
+		t.Fatalf("cache age %v exceeds heartbeat bound", r.eng.Now()-at)
+	}
+}
+
+// TestHybridCrashDetectionKeepsFastSweep: probe failures count as
+// change, so a dead back-end is re-probed at the fast period and the
+// health machine condemns it as quickly as under all-pull.
+func TestHybridCrashDetectionKeepsFastSweep(t *testing.T) {
+	r := newRig(34)
+	a := r.agent(RDMASync)
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: hybridCfg()})
+	m.SetProbeTimeout(10 * sim.Millisecond)
+	r.eng.RunUntil(1500 * sim.Millisecond) // decay to the ceiling
+	if m.ProbePeriod(1) != 160*sim.Millisecond {
+		t.Fatalf("period = %v, want decayed", m.ProbePeriod(1))
+	}
+	r.backend.Crash()
+	a.Stop()
+	r.eng.RunFor(400 * sim.Millisecond)
+	if got := m.Health(1); got != Quarantined {
+		t.Fatalf("health = %v, want quarantined", got)
+	}
+	if m.ProbePeriod(1) != 10*sim.Millisecond {
+		t.Fatalf("period = %v, want snapped to fast sweep", m.ProbePeriod(1))
+	}
+}
+
+// TestHybridSlotInvalidationRepins: invalidating the aggregation slot
+// fails in-flight pushes; after the repin delay a fresh key appears
+// and pushes resume, exactly like the pull path's MR invalidation.
+func TestHybridSlotInvalidationRepins(t *testing.T) {
+	r := newRig(35)
+	a := r.agent(RDMASync)
+	h := hybridCfg()
+	h.Heartbeat = 40 * sim.Millisecond // frequent pushes, quickly exercised
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: h})
+	p := StartDeltaPusher(r.backend, r.bnic, 0, func() uint32 { return m.Sink.SlotKey(1) }, *h)
+	r.eng.RunUntil(500 * sim.Millisecond)
+	if m.Sink.SlotKey(1) == 0 {
+		t.Fatal("no slot key")
+	}
+	m.Sink.InvalidateSlot(1, 100*sim.Millisecond)
+	if m.Sink.SlotKey(1) != 0 {
+		t.Fatal("slot key survived invalidation")
+	}
+	r.eng.RunFor(50 * sim.Millisecond)
+	errsMid := p.Errors
+	if errsMid == 0 {
+		t.Fatal("pushes kept succeeding against an invalidated slot")
+	}
+	pre := m.Sink.Received
+	r.eng.RunFor(300 * sim.Millisecond)
+	if m.Sink.SlotKey(1) == 0 {
+		t.Fatal("slot never re-pinned")
+	}
+	if m.Sink.Received <= pre {
+		t.Fatal("pushes never resumed after re-pin")
+	}
+}
+
+// TestHybridStalePushDropped: replayed or out-of-order push records
+// must never move the cache backwards.
+func TestHybridStalePushDropped(t *testing.T) {
+	r := newRig(36)
+	a := r.agent(RDMASync)
+	h := hybridCfg()
+	m := StartMonitorCfg(r.front, r.fnic, []*Agent{a}, 10*sim.Millisecond,
+		MonitorConfig{Hybrid: h})
+	r.eng.RunUntil(100 * sim.Millisecond)
+
+	fresh := wire.PushRecord{PushSeq: 10, PushedNS: int64(r.eng.Now()),
+		Load: RecordFromSnapshot(r.backend.K.Snapshot(), 50)}
+	m.Sink.OnRecord(1, fresh, r.eng.Now())
+	rec, _, _ := m.Latest(1)
+	if rec.Seq != 50 {
+		t.Fatalf("fresh push not applied: seq=%d", rec.Seq)
+	}
+	stale := fresh
+	stale.PushSeq = 9
+	stale.Load.Seq = 40
+	m.Sink.OnRecord(1, stale, r.eng.Now())
+	rec, _, _ = m.Latest(1)
+	if rec.Seq != 50 {
+		t.Fatalf("stale push replaced the cache: seq=%d", rec.Seq)
+	}
+	if m.StalePushes == 0 {
+		t.Fatal("stale push not counted")
+	}
+}
+
+// TestPushMonitorLatestRace is the regression test for the Latest/rx
+// data race: concurrent readers hammer the cache while the engine
+// delivers multicast records on the test goroutine. Run with -race.
+func TestPushMonitorLatestRace(t *testing.T) {
+	r := newRig(37)
+	mon := StartPushMonitor(r.fab, r.front, PushGroup)
+	StartPushAgent(r.backend, r.bnic, PushGroup, 5*sim.Millisecond)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					mon.Latest(1)
+					mon.Stats()
+				}
+			}
+		}()
+	}
+	r.eng.RunUntil(2 * sim.Second)
+	close(done)
+	wg.Wait()
+	received, torn := mon.Stats()
+	if received == 0 || torn != 0 {
+		t.Fatalf("received=%d torn=%d", received, torn)
+	}
+}

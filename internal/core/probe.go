@@ -308,6 +308,7 @@ type Monitor struct {
 	Scheme  Scheme
 	Probers map[int]*Prober
 	order   []int
+	front   *simos.Node
 	fnic    *simnet.NIC
 	cfg     MonitorConfig
 
@@ -319,9 +320,39 @@ type Monitor struct {
 	// CycleTime samples per-shard sweep durations in microseconds.
 	CycleTime metrics.Sample
 
+	// Sink is the hybrid scheme's aggregation region (nil unless
+	// MonitorConfig.Hybrid is set on an RDMA scheme): one writable slot
+	// per back-end that agents push delta records into.
+	Sink *PushSink
+	// LeaseValid, if set, reports whether this monitor currently holds
+	// primaryship. A monitor without the lease never decays a poll
+	// period — a standby keeps the fast sweep so its view is warm at
+	// takeover. nil means "always held" (unleased deployments).
+	LeaseValid func() bool
+
+	// Decayed counts probe slots skipped because the back-end's
+	// adaptive period had not elapsed — the work requests the hybrid
+	// scheme saved.
+	Decayed uint64
+	// StalePushes counts pushed records dropped for arriving out of
+	// order (older kernel timestamp or replayed push sequence than the
+	// cached record).
+	StalePushes uint64
+
+	hyb map[int]*hybridState
+
 	shardCycles []uint64
 	tasks       []*simos.Task
 	stopped     bool
+}
+
+// hybridState is the monitor's per-backend adaptive-poll bookkeeping.
+type hybridState struct {
+	ctrl    PeriodController
+	due     sim.Time // next probe not before this instant
+	obs     wire.LoadRecord
+	has     bool
+	pushSeq uint32 // highest push sequence accepted
 }
 
 // MonitorConfig shapes the probe engine. The zero value reproduces
@@ -335,6 +366,12 @@ type MonitorConfig struct {
 	// RDMA probes with an untripped breaker batch; socket probes and
 	// tripped back-ends take the sequential path unchanged.
 	Batch int
+	// Hybrid, when non-nil on an RDMA scheme, turns on the hybrid
+	// push/pull engine: the monitor hosts a PushSink aggregation region
+	// and adapts each back-end's poll period to its change rate (see
+	// hybrid.go). Socket schemes ignore it — there is no one-sided
+	// write path to trade probes against.
+	Hybrid *HybridConfig
 }
 
 func (c MonitorConfig) withDefaults(n int) MonitorConfig {
@@ -365,12 +402,22 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 		poll = DefaultInterval
 	}
 	cfg = cfg.withDefaults(len(agents))
-	m := &Monitor{Probers: make(map[int]*Prober), fnic: fnic, cfg: cfg}
+	m := &Monitor{Probers: make(map[int]*Prober), front: front, fnic: fnic, cfg: cfg}
 	for _, a := range agents {
 		m.Scheme = a.Scheme
 		p := NewProber(front, fnic, a)
 		m.Probers[p.Backend] = p
 		m.order = append(m.order, p.Backend)
+	}
+	if cfg.Hybrid != nil && m.Scheme.UsesRDMA() {
+		h := cfg.Hybrid.WithDefaults(poll)
+		m.cfg.Hybrid = &h
+		m.hyb = make(map[int]*hybridState, len(m.order))
+		for _, b := range m.order {
+			m.hyb[b] = &hybridState{ctrl: PeriodController{Cfg: h.Period}}
+		}
+		m.Sink = NewPushSink(front, fnic, m.order)
+		m.Sink.OnRecord = m.notePush
 	}
 	m.shardCycles = make([]uint64, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
@@ -398,11 +445,19 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 					tk.Sleep(poll, sweep)
 					return
 				}
+				if !m.dueNow(ids[i]) {
+					// The adaptive period has not elapsed: this sweep
+					// spends no work request on a quiet back-end.
+					m.Decayed++
+					step(i + 1)
+					return
+				}
 				if m.cfg.Batch > 1 {
-					// Extend a run of batch-eligible back-ends up to the
-					// doorbell limit.
+					// Extend a run of batch-eligible, due back-ends up to
+					// the doorbell limit.
 					j := i
-					for j < len(ids) && j-i < m.cfg.Batch && m.Probers[ids[j]].batchEligible() {
+					for j < len(ids) && j-i < m.cfg.Batch &&
+						m.Probers[ids[j]].batchEligible() && m.dueNow(ids[j]) {
 						j++
 					}
 					if j > i+1 {
@@ -410,7 +465,9 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 						return
 					}
 				}
-				m.Probers[ids[i]].ProbeOnce(tk, func(wire.LoadRecord, error) {
+				id := ids[i]
+				m.Probers[id].ProbeOnce(tk, func(_ wire.LoadRecord, err error) {
+					m.observeProbe(id, err)
 					step(i + 1)
 				})
 			}
@@ -444,7 +501,10 @@ func (m *Monitor) probeBatch(tk *simos.Task, ids []int, then func()) {
 				return
 			}
 			p, res := probers[i], results[i]
-			next := func(wire.LoadRecord, error) { step(i + 1) }
+			next := func(_ wire.LoadRecord, err error) {
+				m.observeProbe(p.Backend, err)
+				step(i + 1)
+			}
 			if res.Err != nil {
 				if res.Err == simnet.ErrTimeout {
 					p.Timeouts++
@@ -476,6 +536,88 @@ func (m *Monitor) shardDone(s int) {
 
 // Backends returns the monitored back-end IDs in start order.
 func (m *Monitor) Backends() []int { return m.order }
+
+// dueNow reports whether a back-end's adaptive poll period has elapsed
+// (always true without the hybrid engine).
+func (m *Monitor) dueNow(backend int) bool {
+	st := m.hyb[backend]
+	if st == nil {
+		return true
+	}
+	return m.front.Eng.Now() >= st.due
+}
+
+// leaseHeld reports the monitor's current primaryship belief for the
+// period controller.
+func (m *Monitor) leaseHeld() bool { return m.LeaseValid == nil || m.LeaseValid() }
+
+// observeProbe feeds one completed probe into the back-end's period
+// controller: a failure or a moved load index counts as change and
+// snaps the period to the fast sweep; a quiet, Healthy, leased probe
+// lets it decay.
+func (m *Monitor) observeProbe(backend int, err error) {
+	st := m.hyb[backend]
+	if st == nil {
+		return
+	}
+	p := m.Probers[backend]
+	changed := err != nil || !st.has
+	if !changed {
+		changed = LoadDelta(p.last, st.obs) >= m.cfg.Hybrid.Threshold
+	}
+	if err == nil && p.has {
+		st.obs = p.last
+		st.has = true
+	}
+	st.due = m.front.Eng.Now() + st.ctrl.Observe(changed, p.Health.State(), m.leaseHeld())
+}
+
+// notePush applies one valid pushed delta record: it refreshes the
+// prober's cache (a push IS a fresh record) and feeds the period
+// controller. A push carrying a real index movement snaps the poll
+// period back to the fast sweep — the back-end is volatile; a
+// heartbeat push (quiet, just proving freshness) lets the period keep
+// decaying. Health stays probe-driven: a push proves the push path
+// works, not that probes would succeed. Out-of-order arrivals (older
+// kernel timestamp or replayed push sequence) are dropped so the cache
+// never moves backwards in time.
+func (m *Monitor) notePush(backend int, rec wire.PushRecord, at sim.Time) {
+	st := m.hyb[backend]
+	p := m.Probers[backend]
+	if st == nil || p == nil || m.stopped {
+		return
+	}
+	if st.pushSeq != 0 && rec.PushSeq <= st.pushSeq {
+		m.StalePushes++
+		return
+	}
+	st.pushSeq = rec.PushSeq
+	if p.has && rec.Load.KTimeNS < p.last.KTimeNS {
+		m.StalePushes++
+		return
+	}
+	changed := !st.has || LoadDelta(rec.Load, st.obs) >= m.cfg.Hybrid.Threshold
+	p.last = rec.Load
+	p.lastAt = at
+	p.has = true
+	p.LastTransport = TransportPush
+	if p.OnRecord != nil {
+		p.OnRecord(rec.Load, at)
+	}
+	st.obs = rec.Load
+	st.has = true
+	st.due = at + st.ctrl.Observe(changed, p.Health.State(), m.leaseHeld())
+}
+
+// ProbePeriod returns a back-end's current adaptive poll period (0
+// without the hybrid engine).
+func (m *Monitor) ProbePeriod(backend int) sim.Time {
+	st := m.hyb[backend]
+	if st == nil {
+		return 0
+	}
+	return st.ctrl.Period()
+}
 
 // SetProbeTimeout bounds every back-end's probe by d (0 disables).
 func (m *Monitor) SetProbeTimeout(d sim.Time) {
@@ -530,6 +672,11 @@ func (m *Monitor) ReplaceAgent(backend int, a *Agent) {
 	}
 	p.agent = a
 	p.Scheme = a.Scheme
+	if st := m.hyb[backend]; st != nil {
+		// A restarted back-end's pusher restarts its push sequence; clear
+		// the replay guard so its first post-restart delta is accepted.
+		st.pushSeq = 0
+	}
 }
 
 // Latest returns the newest record for a back-end.
@@ -549,6 +696,9 @@ func (m *Monitor) Stop() {
 	}
 	for _, p := range m.Probers {
 		p.Stop()
+	}
+	if m.Sink != nil {
+		m.Sink.Close()
 	}
 }
 

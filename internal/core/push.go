@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"rdmamon/internal/sim"
 	"rdmamon/internal/simnet"
 	"rdmamon/internal/simos"
@@ -72,16 +74,22 @@ func (a *PushAgent) Stop() {
 // PushMonitor is the front-end receiver: it joins the multicast group
 // and caches the latest record per back-end. It satisfies the same
 // Latest contract as Monitor.
+//
+// Latest is safe to call from outside the engine goroutine (an
+// exporter or dispatcher thread polling the cache while the rx task
+// runs): mu guards the record maps and counters against the rx task's
+// writes.
 type PushMonitor struct {
+	mu      sync.Mutex
 	last    map[int]wire.LoadRecord
 	lastAt  map[int]sim.Time
 	task    *simos.Task
 	stopped bool
 
-	// Received counts reports processed; Torn counts records that
-	// failed validation.
-	Received uint64
-	Torn     uint64
+	// received counts reports processed; torn counts records that
+	// failed validation. Read them via Stats.
+	received uint64
+	torn     uint64
 }
 
 // StartPushMonitor joins front to the group and starts the receiver.
@@ -101,13 +109,15 @@ func StartPushMonitor(fab *simnet.Fabric, front *simos.Node, group string) *Push
 			}
 			tk.Compute(2*sim.Microsecond, func() {
 				if raw, ok := msg.Payload.([]byte); ok {
+					m.mu.Lock()
 					if rec, err := wire.Decode(raw); err == nil {
 						m.last[int(rec.NodeID)] = rec
 						m.lastAt[int(rec.NodeID)] = front.Eng.Now()
-						m.Received++
+						m.received++
 					} else {
-						m.Torn++
+						m.torn++
 					}
+					m.mu.Unlock()
 				}
 				tk.Recv(port, serve)
 			})
@@ -117,10 +127,21 @@ func StartPushMonitor(fab *simnet.Fabric, front *simos.Node, group string) *Push
 	return m
 }
 
-// Latest returns the newest record pushed by a back-end.
+// Latest returns the newest record pushed by a back-end. Safe for
+// concurrent use with the rx task.
 func (m *PushMonitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	rec, ok := m.last[backend]
 	return rec, m.lastAt[backend], ok
+}
+
+// Stats returns the processed / torn record counts. Safe for
+// concurrent use with the rx task.
+func (m *PushMonitor) Stats() (received, torn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.received, m.torn
 }
 
 // Stop ends the receiver.

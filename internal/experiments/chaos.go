@@ -48,6 +48,9 @@ type ChaosPoint struct {
 	FailBackMaxT float64 // slowest MR-event fail-back, in probe periods
 	StaleMaxT    float64 // worst undisturbed record age, in probe periods
 
+	HybPushes    uint64  // delta pushes the hybrid twin's agents posted
+	HybStaleMaxT float64 // twin's worst undisturbed record age (I6)
+
 	Violations []string // invariant violations (empty = pass)
 	ViolationN int      // total count (Violations is capped)
 
@@ -73,7 +76,12 @@ type ChaosData struct {
 //	I4  sequence numbers never regress on a single transport within an
 //	    agent incarnation;
 //	I5  a fixed seed replays bit-identically (checked for the first
-//	    seed by running it twice).
+//	    seed by running it twice);
+//	I6  a hybrid-mode twin cluster under the SAME fault plan — pusher
+//	    crashes mid-delta, invalidations of the front-end aggregation
+//	    region, partitions while poll periods are decayed — keeps every
+//	    undisturbed back-end within the staleness SLO, and its digest
+//	    is part of the I5 replay check.
 func Chaos(o Options) *ChaosData {
 	n := o.Seeds
 	if n <= 0 {
@@ -129,7 +137,136 @@ func chaosPoint(o Options, seed int64) ChaosPoint {
 	c.Run(horizon)
 
 	ck.checkMREvents(horizon)
-	return ck.point(seed, pool.Timeouts)
+	pt := ck.point(seed, pool.Timeouts)
+
+	// I6: the hybrid twin — same seed, same plan, push/pull monitoring.
+	hyb := chaosHybridTwin(seed, plan, poll, horizon, repin, clients)
+	pt.HybPushes = hyb.pushes
+	pt.HybStaleMaxT = float64(hyb.staleMax) / float64(poll)
+	pt.Violations = append(pt.Violations, hyb.violations...)
+	pt.ViolationN += hyb.violationN
+	pt.Fingerprint += " " + hyb.digest
+	return pt
+}
+
+// hybridTwinStats is what the I6 twin run reports back.
+type hybridTwinStats struct {
+	pushes     uint64
+	staleMax   sim.Time
+	violations []string
+	violationN int
+	digest     string
+}
+
+// chaosHybridTwin replays the seed's fault plan against a cluster
+// running the hybrid push/pull scheme and audits I6: every undisturbed
+// back-end stays within the staleness SLO even though quiet back-ends
+// are probed at a decayed period and rely on delta pushes landing in
+// the front-end aggregation region. The twin's period ceiling (4T) and
+// heartbeat (6T) are chosen so the all-pull staleness SLO (10T) is
+// still the contract, not a relaxed one. Crashes kill pushers
+// mid-delta, MR invalidations tear down the aggregation slots, and
+// partitions strand decayed back-ends — all from the same plan the
+// all-pull run survived.
+func chaosHybridTwin(seed int64, plan faults.Plan, poll, horizon, repin sim.Time, clients int) hybridTwinStats {
+	c := cluster.New(cluster.Config{
+		Backends:     8,
+		Scheme:       core.RDMASync,
+		Poll:         poll,
+		Seed:         seed,
+		Policy:       cluster.PolicyWebSphere,
+		Gamma:        4,
+		ProbeTimeout: poll,
+		MRRepin:      repin,
+		Failover:     &core.FailoverConfig{},
+		Hybrid: &core.HybridConfig{
+			Period:    core.PeriodConfig{Min: poll, Max: 4 * poll},
+			Heartbeat: 6 * poll,
+			Check:     poll,
+		},
+	})
+	in := c.ApplyFaults(plan)
+
+	st := hybridTwinStats{}
+	violate := func(format string, args ...any) {
+		st.violationN++
+		if len(st.violations) < 8 {
+			st.violations = append(st.violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	eng := c.Eng
+	down := make(map[int]bool)
+	prevCrash, prevRestart := in.OnCrash, in.OnRestart
+	in.OnCrash = func(node int) {
+		if prevCrash != nil {
+			prevCrash(node)
+		}
+		down[node] = true
+	}
+	in.OnRestart = func(node int) {
+		if prevRestart != nil {
+			prevRestart(node)
+		}
+		down[node] = false
+	}
+
+	warmup := 20 * poll
+	stale := sim.Time(chaosStaleSLO) * poll
+	ticker := eng.NewTicker(poll, func() {
+		now := eng.Now()
+		if now < warmup {
+			return
+		}
+		for _, b := range c.Monitor.Backends() {
+			if down[b] || planDisturbs(plan, poll, b, now) {
+				continue
+			}
+			_, at, ok := c.Monitor.Latest(b)
+			if !ok {
+				violate("I6 hybrid staleness: node %d has no record by %v", b, now)
+				continue
+			}
+			if age := now - at; age > st.staleMax {
+				st.staleMax = age
+			}
+			if now-at > stale {
+				violate("I6 hybrid staleness: node %d record is %v old at %v", b, now-at, now)
+			}
+		}
+	})
+	defer ticker.Stop()
+
+	pool := c.StartRUBiS(clients, 30*sim.Millisecond, seed+11)
+	c.Run(horizon)
+
+	var skips, perrs, decayed uint64
+	for _, p := range c.Pushers {
+		if p != nil {
+			st.pushes += p.Pushes
+			skips += p.Skips
+			perrs += p.Errors
+		}
+	}
+	decayed = c.Monitor.Decayed
+	var rx, torn uint64
+	if c.Monitor.Sink != nil {
+		rx = c.Monitor.Sink.Received
+		torn = c.Monitor.Sink.Torn
+	}
+	seqs := ""
+	for _, b := range c.Monitor.Backends() {
+		rec, at, _ := c.Monitor.Probers[b].Latest()
+		seqs += fmt.Sprintf("|%d:%d@%d", b, rec.Seq, at)
+	}
+	// The twin's digest joins the main fingerprint so I5's replay check
+	// covers hybrid mode too: pushes, skips, errors, sink counters, the
+	// decayed-probe count and final per-node records must all replay
+	// bit-identically.
+	st.digest = fmt.Sprintf("hyb: pushes=%d skips=%d perr=%d rx=%d torn=%d decay=%d stale=%d drop=%d served=%d tmo=%d hviol=%d seqs=%s",
+		st.pushes, skips, perrs, rx, torn, decayed, st.staleMax,
+		c.Monitor.StalePushes, c.TotalServed(), pool.Timeouts, st.violationN, seqs)
+	return st
 }
 
 // chaosChecker audits one run against the invariants above.
@@ -272,21 +409,29 @@ func (ck *chaosChecker) install(in *faults.Injector) {
 // absent: surviving one within the staleness SLO is what the failover
 // path is for.
 func (ck *chaosChecker) disturbed(b int, at sim.Time) bool {
-	slack := 10 * ck.poll
-	for _, cr := range ck.plan.Crashes {
-		if cr.Node == b && at >= cr.At-ck.poll && at < cr.RestartAt+slack {
+	return planDisturbs(ck.plan, ck.poll, b, at)
+}
+
+// planDisturbs is the fault-window predicate shared by the all-pull
+// checker (I2) and the hybrid twin (I6): both exempt back-ends inside
+// a crash/partition/link window (plus recovery slack) from their
+// staleness SLO.
+func planDisturbs(plan faults.Plan, poll sim.Time, b int, at sim.Time) bool {
+	slack := 10 * poll
+	for _, cr := range plan.Crashes {
+		if cr.Node == b && at >= cr.At-poll && at < cr.RestartAt+slack {
 			return true
 		}
 	}
-	for _, p := range ck.plan.Partitions {
+	for _, p := range plan.Partitions {
 		if intsHave(p.A, b) || intsHave(p.B, b) {
-			if at >= p.Start-ck.poll && at < p.End+slack {
+			if at >= p.Start-poll && at < p.End+slack {
 				return true
 			}
 		}
 	}
-	for _, l := range ck.plan.Links {
-		if l.To == b && at >= l.Start-ck.poll && at < l.End+slack {
+	for _, l := range plan.Links {
+		if l.To == b && at >= l.Start-poll && at < l.End+slack {
 			return true
 		}
 	}
@@ -450,7 +595,7 @@ func (d *ChaosData) Result() *Result {
 		ID:    "chaos",
 		Title: "Randomized transport-failover chaos: invariants across seeded fault plans",
 		Columns: []string{"seed", "plan(c/l/p/m)", "trips", "failbk", "fallbk", "rearm",
-			"trip(T)", "failbk(T)", "stale(T)", "viol"},
+			"trip(T)", "failbk(T)", "stale(T)", "pushes", "hyb stale(T)", "viol"},
 	}
 	total := 0
 	for _, p := range d.Points {
@@ -465,6 +610,8 @@ func (d *ChaosData) Result() *Result {
 			f1(p.TripMaxT),
 			f1(p.FailBackMaxT),
 			f1(p.StaleMaxT),
+			fmt.Sprintf("%d", p.HybPushes),
+			f1(p.HybStaleMaxT),
 			fmt.Sprintf("%d", p.ViolationN),
 		})
 		for _, v := range p.Violations {
@@ -475,7 +622,7 @@ func (d *ChaosData) Result() *Result {
 		r.Failed = true
 		r.Notes = append(r.Notes, fmt.Sprintf("FAILED: %d invariant violation(s)", total))
 	} else {
-		r.Notes = append(r.Notes, "all invariants held: crashed nodes shed traffic within the detection SLO, surviving nodes stayed within the staleness SLO over whichever transport, every clean MR invalidation tripped and failed back within SLO, sequence numbers never regressed per transport, and the first seed replayed bit-identically")
+		r.Notes = append(r.Notes, "all invariants held: crashed nodes shed traffic within the detection SLO, surviving nodes stayed within the staleness SLO over whichever transport, every clean MR invalidation tripped and failed back within SLO, sequence numbers never regressed per transport, the hybrid twin kept the same staleness SLO under the same fault plans, and the first seed (both modes) replayed bit-identically")
 	}
 	return r
 }

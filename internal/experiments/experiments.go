@@ -33,10 +33,18 @@ type Options struct {
 
 	// Backends, Shards and Batch pin the scale experiment to a single
 	// configuration instead of its built-in sweep (0 = sweep; other
-	// experiments ignore them).
+	// experiments ignore them). Backends also pins the hybrid
+	// experiment's fleet size.
 	Backends int
 	Shards   int
 	Batch    int
+
+	// PushThreshold, PeriodMin and PeriodMax override the hybrid
+	// experiment's controller knobs (zero = its defaults; other
+	// experiments ignore them). Periods are in probe periods T.
+	PushThreshold float64
+	PeriodMin     int
+	PeriodMax     int
 }
 
 func (o Options) seed() int64 {

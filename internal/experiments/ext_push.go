@@ -69,7 +69,7 @@ func pushPoint(o Options, name string, T sim.Time) PushRow {
 			if rec, at, ok := mon.Latest(1); ok {
 				_ = rec
 				age.Add(float64(eng.Now()-at) / float64(sim.Millisecond))
-				records = mon.Received
+				records, _ = mon.Stats()
 			}
 		})
 		eng.RunUntil(dur)

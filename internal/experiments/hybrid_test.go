@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// TestHybridQuickContract runs the quick hybrid comparison and asserts
+// the tentpole contract at its reduced fleet: the hybrid scheme must
+// post >= 10x fewer probe work requests than all-pull while both modes
+// hold the same effective-staleness bound — the exact criterion the
+// full 512-back-end rmbench run enforces.
+func TestHybridQuickContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	d := Hybrid(Options{Quick: true})
+	if d.Failed {
+		t.Fatalf("quick hybrid run reported violations:\n%v", d.Notes)
+	}
+	if d.WRRatio < hybridWRRatio {
+		t.Fatalf("probe-WR reduction %.1fx, want >= %dx", d.WRRatio, hybridWRRatio)
+	}
+	pull, hyb := d.Points[0], d.Points[1]
+	if hyb.PushWRs == 0 || hyb.Decayed == 0 {
+		t.Fatalf("hybrid run posted no pushes (%d) or never decayed (%d)", hyb.PushWRs, hyb.Decayed)
+	}
+	if pull.PushWRs != 0 || pull.Decayed != 0 {
+		t.Fatalf("all-pull baseline pushed (%d) or decayed (%d)", pull.PushWRs, pull.Decayed)
+	}
+	for _, p := range d.Points {
+		if p.EffStaleMaxT > hybridStaleSLO {
+			t.Fatalf("%s effective staleness %.1fT > %dT", p.Mode, p.EffStaleMaxT, hybridStaleSLO)
+		}
+	}
+}
+
+// TestHybridKnobOverrides exercises the rmbench -period-min/-period-max
+// /-push-threshold plumbing: capping the decay ceiling at 2T must cost
+// probe WRs versus the default 64T ceiling.
+func TestHybridKnobOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	slow := Hybrid(Options{Quick: true, Backends: 32})
+	fast := Hybrid(Options{Quick: true, Backends: 32, PeriodMax: 2, PushThreshold: 0.2})
+	if fast.Points[1].ProbeWRs <= slow.Points[1].ProbeWRs {
+		t.Fatalf("2T ceiling posted %d probe WRs, 64T ceiling %d — override not applied",
+			fast.Points[1].ProbeWRs, slow.Points[1].ProbeWRs)
+	}
+}
+
+// TestHybridDeterministic: the hybrid comparison — flappers, adaptive
+// periods, delta pushes, the staleness audit — must be bit-identical
+// across two runs with the same seed.
+func TestHybridDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment; skipped with -short")
+	}
+	diffResults(t, "hybrid", runOnce(t, "hybrid"), runOnce(t, "hybrid"))
+}

@@ -45,6 +45,13 @@ type Config struct {
 	// serves their keys on a control port. Hosting costs the agent
 	// application nothing per operation, like every other region.
 	HostLease bool
+
+	// Push, when non-nil, additionally starts the hybrid scheme's delta
+	// pusher: the agent samples locally every Push.Check and RDMA-Writes
+	// a timestamped record into its slot on the front-end PushHost when
+	// the load index moved by Push.Threshold. NodeID and Provider
+	// default to the agent's own.
+	Push *PusherConfig
 }
 
 // Agent is the live back-end of a monitoring scheme.
@@ -60,6 +67,8 @@ type Agent struct {
 	closed bool
 
 	vault *leaseVault // non-nil when this agent hosts the lease
+
+	pusher *Pusher // non-nil when cfg.Push is set
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -138,6 +147,22 @@ func StartAgent(cfg Config) (*Agent, error) {
 		a.hostLease()
 	}
 
+	if cfg.Push != nil {
+		pc := *cfg.Push
+		if pc.NodeID == 0 {
+			pc.NodeID = cfg.NodeID
+		}
+		if pc.Provider == nil {
+			pc.Provider = cfg.Provider
+		}
+		p, err := StartPusher(pc)
+		if err != nil {
+			v.Close()
+			return nil, err
+		}
+		a.pusher = p
+	}
+
 	// Control endpoint: scheme + rkey discovery for probes. The region
 	// key is read under the lock: InvalidateMR swaps it concurrently.
 	v.HandleCall(portInfo, func([]byte) []byte {
@@ -169,10 +194,16 @@ func (a *Agent) Close() error {
 	default:
 		close(a.stop)
 	}
+	if a.pusher != nil {
+		a.pusher.Close()
+	}
 	err := a.verbs.Close()
 	a.wg.Wait()
 	return err
 }
+
+// Pusher exposes the agent's delta pusher (nil unless cfg.Push set).
+func (a *Agent) Pusher() *Pusher { return a.pusher }
 
 // InvalidateMR models the remote key going stale (RDMA schemes only):
 // the region is deregistered immediately — in-flight and subsequent

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rdmamon/internal/core"
+	"rdmamon/internal/sim"
 	"rdmamon/internal/wire"
 )
 
@@ -22,6 +23,14 @@ type Monitor struct {
 	health    map[string]*core.HealthTracker
 	transport map[string]core.Transport
 	weights   core.Weights
+
+	// Adaptive-period state (nil maps when the layout is fixed-period).
+	adaptive *AdaptiveConfig
+	ctrl     map[string]*core.PeriodController
+	obs      map[string]wire.LoadRecord
+	obsHas   map[string]bool
+	due      map[string]time.Time
+	decayed  uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -43,6 +52,41 @@ type MonitorConfig struct {
 	// goroutine and timer count the way the simulated monitor's shard
 	// tasks do. Zero keeps the per-target layout.
 	Shards int
+	// Adaptive, when non-nil, layers the change-rate-adaptive poll
+	// period controller on every target: a quiet target's period decays
+	// toward Adaptive.Max, any load-index movement, fetch failure,
+	// Suspect/Degraded health or lost lease snaps it back to Interval
+	// within one cycle. Works with both polling layouts.
+	Adaptive *AdaptiveConfig
+}
+
+// AdaptiveConfig shapes the live adaptive-period controller — the
+// deployable counterpart of the simulated monitor's hybrid decay.
+type AdaptiveConfig struct {
+	// Max is the decay ceiling (default 16x the poll interval).
+	Max time.Duration
+	// Grow is the period multiplier per quiet poll (default 2).
+	Grow float64
+	// Threshold is the load-index delta that counts as change
+	// (default 0.05).
+	Threshold float64
+	// LeaseValid, when set, reports whether this front-end still holds
+	// primaryship; losing it forces every target to the fast period so
+	// a re-elected primary starts from fresh records.
+	LeaseValid func() bool
+}
+
+func (c AdaptiveConfig) withDefaults(interval time.Duration) AdaptiveConfig {
+	if c.Max <= 0 {
+		c.Max = 16 * interval
+	}
+	if c.Grow <= 1 {
+		c.Grow = 2
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.05
+	}
+	return c
 }
 
 // NewMonitor dials every target and starts polling. Targets that fail
@@ -69,6 +113,14 @@ func NewMonitorCfg(targets []string, cfg MonitorConfig) (*Monitor, map[string]er
 		weights:   core.DefaultWeights(),
 		stop:      make(chan struct{}),
 	}
+	if cfg.Adaptive != nil {
+		a := cfg.Adaptive.withDefaults(interval)
+		m.adaptive = &a
+		m.ctrl = make(map[string]*core.PeriodController)
+		m.obs = make(map[string]wire.LoadRecord)
+		m.obsHas = make(map[string]bool)
+		m.due = make(map[string]time.Time)
+	}
 	dialErrs := make(map[string]error)
 	var connected []string
 	for _, t := range targets {
@@ -79,6 +131,13 @@ func NewMonitorCfg(targets []string, cfg MonitorConfig) (*Monitor, map[string]er
 		}
 		m.probes[t] = p
 		m.health[t] = &core.HealthTracker{}
+		if m.adaptive != nil {
+			m.ctrl[t] = &core.PeriodController{Cfg: core.PeriodConfig{
+				Min:  sim.Time(interval),
+				Max:  sim.Time(m.adaptive.Max),
+				Grow: m.adaptive.Grow,
+			}}
+		}
 		connected = append(connected, t)
 	}
 	if cfg.Shards > 0 {
@@ -124,7 +183,54 @@ func (m *Monitor) fetchOne(target string, p *Probe) {
 			ht.OK()
 		}
 	}
+	if m.adaptive != nil {
+		// A failed fetch counts as change: trouble must restore the
+		// fast sweep, never decay away from it.
+		changed := err != nil || !m.obsHas[target] ||
+			core.LoadDelta(rec, m.obs[target]) >= m.adaptive.Threshold
+		if err == nil {
+			m.obs[target] = rec
+			m.obsHas[target] = true
+		}
+		leaseHeld := m.adaptive.LeaseValid == nil || m.adaptive.LeaseValid()
+		period := m.ctrl[target].Observe(changed, ht.State(), leaseHeld)
+		m.due[target] = time.Now().Add(time.Duration(period))
+	}
 	m.mu.Unlock()
+}
+
+// dueNow reports whether the adaptive controller allows a probe of
+// target this tick (always true in fixed-period layouts).
+func (m *Monitor) dueNow(target string) bool {
+	if m.adaptive == nil {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Now().Before(m.due[target]) {
+		m.decayed++
+		return false
+	}
+	return true
+}
+
+// ProbePeriod returns the adaptive controller's current period for a
+// target (the base interval when the layout is fixed-period).
+func (m *Monitor) ProbePeriod(target string) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if c := m.ctrl[target]; c != nil {
+		return time.Duration(c.Period())
+	}
+	return m.interval
+}
+
+// Decayed returns how many probe slots the adaptive controller has
+// skipped so far.
+func (m *Monitor) Decayed() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.decayed
 }
 
 // quarantineSkip reports whether a quarantined target's probe should
@@ -154,7 +260,7 @@ func (m *Monitor) poll(target string, p *Probe) {
 		case <-m.stop:
 			return
 		case <-tick.C:
-			if m.quarantineSkip(target, &skipped) {
+			if m.quarantineSkip(target, &skipped) || !m.dueNow(target) {
 				continue
 			}
 			m.fetchOne(target, p)
@@ -182,6 +288,9 @@ func (m *Monitor) shardPoll(targets []string) {
 				continue
 			}
 			skipped[t] = skip
+			if !m.dueNow(t) {
+				continue
+			}
 			m.fetchOne(t, m.probes[t])
 		}
 	}

@@ -1,0 +1,351 @@
+package livemon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamon/internal/core"
+	"rdmamon/internal/procfs"
+	"rdmamon/internal/tcpverbs"
+	"rdmamon/internal/wire"
+)
+
+// portPushInfo is the push-path control port: a 2-byte big-endian node
+// id maps to that node's 4-byte aggregation-slot key (0 = no slot,
+// e.g. after an invalidation and before the re-pin).
+const portPushInfo = "rmon-push-info"
+
+// PushHost is the live front-end half of the hybrid scheme: it hosts
+// one writable aggregation slot per expected back-end, written remotely
+// by Pushers via the one-sided write verb — the host application is
+// never involved in a push, exactly like the agent application is never
+// involved in a one-sided probe read. It is safe for concurrent use.
+type PushHost struct {
+	verbs *tcpverbs.Agent
+
+	mu     sync.Mutex
+	slots  map[uint16]*tcpverbs.MR
+	last   map[uint16]wire.PushRecord
+	lastAt map[uint16]time.Time
+	closed bool
+
+	received, torn uint64
+}
+
+// StartPushHost listens on addr and registers a writable slot for each
+// expected back-end node id.
+func StartPushHost(addr string, nodes []uint16) (*PushHost, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	v, err := tcpverbs.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &PushHost{
+		verbs:  v,
+		slots:  make(map[uint16]*tcpverbs.MR),
+		last:   make(map[uint16]wire.PushRecord),
+		lastAt: make(map[uint16]time.Time),
+	}
+	for _, n := range nodes {
+		h.registerSlot(n)
+	}
+	v.HandleCall(portPushInfo, func(payload []byte) []byte {
+		reply := make([]byte, 4)
+		if len(payload) < 2 {
+			return reply
+		}
+		node := binary.BigEndian.Uint16(payload)
+		h.mu.Lock()
+		if mr := h.slots[node]; mr != nil {
+			binary.BigEndian.PutUint32(reply, mr.Key())
+		}
+		h.mu.Unlock()
+		return reply
+	})
+	return h, nil
+}
+
+// registerSlot pins node's slot. Caller must not hold h.mu.
+func (h *PushHost) registerSlot(node uint16) {
+	buf := make([]byte, wire.PushRecordSize)
+	mr := h.verbs.RegisterWritableMR(
+		func() []byte { return buf },
+		wire.PushRecordSize,
+		func(data []byte) { h.sink(node, data) })
+	h.mu.Lock()
+	h.slots[node] = mr
+	h.mu.Unlock()
+}
+
+// sink validates one landed push. A record that fails the CRC (a torn
+// or corrupt write) or carries the wrong node id is dropped. A stale
+// PushSeq alone is not enough to drop: a restarted agent resets its
+// sequence to 1, and waiting for it to pass the dead process's
+// watermark could ignore a live pusher for hours. So a record is
+// stale only when both its sequence AND its push timestamp regress —
+// a delayed duplicate of an old write fails both, a restarted pusher
+// carries a fresh timestamp and takes over the slot.
+func (h *PushHost) sink(node uint16, data []byte) {
+	rec, err := wire.DecodePush(data)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil || rec.Load.NodeID != node {
+		h.torn++
+		return
+	}
+	if prev, ok := h.last[node]; ok && rec.PushSeq <= prev.PushSeq && rec.PushedNS <= prev.PushedNS {
+		h.torn++
+		return
+	}
+	h.last[node] = rec
+	h.lastAt[node] = time.Now()
+	h.received++
+}
+
+// Addr returns the host's listen address.
+func (h *PushHost) Addr() string { return h.verbs.Addr() }
+
+// Latest returns the newest pushed record for a node.
+func (h *PushHost) Latest(node uint16) (wire.PushRecord, time.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec, ok := h.last[node]
+	return rec, h.lastAt[node], ok
+}
+
+// Stats returns the processed / rejected push counts.
+func (h *PushHost) Stats() (received, torn uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.received, h.torn
+}
+
+// SlotKey returns a node's current slot key (0 if none).
+func (h *PushHost) SlotKey(node uint16) uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if mr := h.slots[node]; mr != nil {
+		return mr.Key()
+	}
+	return 0
+}
+
+// InvalidateSlot models the aggregation region going stale for one
+// node: the slot is deregistered immediately — in-flight and subsequent
+// pushes with the old key fail — and, if repin > 0, re-registered with
+// a fresh key after repin. Pushers recover the new key through their
+// re-handshake path.
+func (h *PushHost) InvalidateSlot(node uint16, repin time.Duration) {
+	h.mu.Lock()
+	mr := h.slots[node]
+	delete(h.slots, node)
+	h.mu.Unlock()
+	if mr == nil {
+		return
+	}
+	h.verbs.Deregister(mr)
+	if repin <= 0 {
+		return
+	}
+	time.AfterFunc(repin, func() {
+		h.mu.Lock()
+		closed, exists := h.closed, h.slots[node] != nil
+		h.mu.Unlock()
+		if closed || exists {
+			return
+		}
+		h.registerSlot(node)
+	})
+}
+
+// Close stops the host.
+func (h *PushHost) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	return h.verbs.Close()
+}
+
+// PusherConfig configures a live delta pusher.
+type PusherConfig struct {
+	Target   string // push host address
+	NodeID   uint16
+	Provider procfs.Provider
+
+	// Threshold is the load-index delta that triggers a push
+	// (default 0.05).
+	Threshold float64
+	// Check is the local sampling period (default 50ms). Sampling is
+	// local and cheap; only crossings of Threshold cost a write.
+	Check time.Duration
+	// Heartbeat bounds the silence: a push is forced when the last one
+	// is older than this, even if nothing changed (default 16x Check).
+	Heartbeat time.Duration
+}
+
+func (c PusherConfig) withDefaults() PusherConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.05
+	}
+	if c.Check <= 0 {
+		c.Check = 50 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 16 * c.Check
+	}
+	if c.Provider == nil {
+		c.Provider = procfs.NewLinux("")
+	}
+	return c
+}
+
+// Pusher is the live back-end half of the hybrid scheme: it samples
+// the local machine every Check and RDMA-Writes a timestamped delta
+// record into its slot on the PushHost when the load index moved by
+// Threshold (or Heartbeat expired). A failed write triggers one key
+// re-handshake and retry — an invalidated-and-re-pinned slot hands out
+// a fresh key.
+type Pusher struct {
+	cfg  PusherConfig
+	conn *tcpverbs.Conn
+
+	mu     sync.Mutex
+	key    uint32
+	seq    uint32
+	last   wire.LoadRecord
+	lastAt time.Time
+	primed bool
+
+	pushes, skips, errors, rekeys uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartPusher dials the push host, discovers this node's slot key and
+// starts the sampling loop.
+func StartPusher(cfg PusherConfig) (*Pusher, error) {
+	cfg = cfg.withDefaults()
+	conn, err := tcpverbs.Dial(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pusher{cfg: cfg, conn: conn, stop: make(chan struct{})}
+	if err := p.rekey(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// rekey re-fetches this node's slot key from the control port.
+func (p *Pusher) rekey() error {
+	req := make([]byte, 2)
+	binary.BigEndian.PutUint16(req, p.cfg.NodeID)
+	reply, err := p.conn.Call(portPushInfo, req)
+	if err != nil {
+		return fmt.Errorf("livemon: push key exchange: %w", err)
+	}
+	if len(reply) < 4 {
+		return fmt.Errorf("livemon: short push key reply")
+	}
+	p.mu.Lock()
+	p.key = binary.BigEndian.Uint32(reply)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Pusher) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Check)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.check()
+		}
+	}
+}
+
+// check samples the machine and pushes if the delta contract says so.
+func (p *Pusher) check() {
+	s, err := p.cfg.Provider.Snapshot()
+	if err != nil {
+		return // transient sampling errors keep the old state
+	}
+	p.mu.Lock()
+	rec := s.Record(p.cfg.NodeID, p.seq+1)
+	// The pusher process is running when it samples itself; subtract it
+	// from the run queue so pushed records agree with what a one-sided
+	// probe (no agent awake) would read.
+	if rec.NrRunning > 0 {
+		rec.NrRunning--
+	}
+	if p.primed && core.LoadDelta(rec, p.last) < p.cfg.Threshold &&
+		time.Since(p.lastAt) < p.cfg.Heartbeat {
+		p.skips++
+		p.mu.Unlock()
+		return
+	}
+	p.seq++
+	rec.Seq = p.seq
+	pr := wire.PushRecord{PushSeq: p.seq, PushedNS: time.Now().UnixNano(), Load: rec}
+	key := p.key
+	p.mu.Unlock()
+
+	enc := pr.Encode()
+	werr := p.conn.RDMAWrite(key, enc)
+	if werr != nil {
+		// The slot may have been invalidated and re-pinned under a fresh
+		// key: re-handshake once and retry.
+		if rerr := p.rekey(); rerr == nil {
+			p.mu.Lock()
+			key = p.key
+			p.mu.Unlock()
+			p.recordRekey()
+			werr = p.conn.RDMAWrite(key, enc)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if werr != nil {
+		p.errors++
+		return
+	}
+	p.pushes++
+	p.last = rec
+	p.lastAt = time.Now()
+	p.primed = true
+}
+
+func (p *Pusher) recordRekey() {
+	p.mu.Lock()
+	p.rekeys++
+	p.mu.Unlock()
+}
+
+// Stats returns the pusher's counters.
+func (p *Pusher) Stats() (pushes, skips, errors, rekeys uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pushes, p.skips, p.errors, p.rekeys
+}
+
+// Close stops the pusher.
+func (p *Pusher) Close() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+	return p.conn.Close()
+}

@@ -98,6 +98,57 @@ func FuzzLoadRecordFields(f *testing.F) {
 	})
 }
 
+// FuzzPushRecord mirrors FuzzLoadRecord for the pushed delta record:
+// DecodePush must never panic, never accept a bad checksum (outer or
+// embedded), and accepted records must round-trip bit-for-bit.
+func FuzzPushRecord(f *testing.F) {
+	inner := LoadRecord{
+		NumCPU: 4, NodeID: 7, Seq: 42, KTimeNS: 3e9,
+		NrRunning: 2, NrTasks: 80, MemUsedKB: 1 << 17, MemTotalKB: 1 << 20,
+		Conns: 12,
+	}
+	inner.UtilPerMille[0] = 550
+	valid := PushRecord{PushSeq: 9, PushedNS: 31e8, Load: inner}
+	enc := valid.Encode()
+	f.Add(enc)
+	f.Add(enc[:PushRecordSize-1])
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	torn := append([]byte(nil), enc...)
+	torn[PushRecordSize/2] ^= 0x55
+	f.Add(torn)
+	innerTorn := append([]byte(nil), enc...)
+	innerTorn[20+RecordSize/2] ^= 0x55
+	f.Add(innerTorn)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, PushRecordSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodePush(data)
+		if err != nil {
+			switch err {
+			case ErrShort, ErrMagic, ErrVersion, ErrChecksum, ErrReserved:
+			default:
+				t.Fatalf("undocumented decode error: %v", err)
+			}
+			return
+		}
+		_ = rec.String()
+		re := rec.Encode()
+		if !bytes.Equal(re, data[:PushRecordSize]) {
+			t.Fatalf("round trip mismatch:\n in=%x\nout=%x", data[:PushRecordSize], re)
+		}
+		re2, err := DecodePush(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re2 != rec {
+			t.Fatalf("re-decode mismatch: %+v != %+v", re2, rec)
+		}
+	})
+}
+
 // FuzzLeaseRecord mirrors FuzzLoadRecord for the lease codec: Decode
 // must never panic, never accept a bad checksum, and accepted records
 // must round-trip bit-for-bit.

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The hybrid monitoring scheme inverts the paper's pull direction for
+// back-ends whose load actually moved: the agent RDMA-Writes a delta
+// record into an aggregation slot hosted by the front-end. The slot is
+// written one-sidedly, so the front-end can read it while a write is in
+// flight — the record must be torn-detectable exactly like the pulled
+// LoadRecord, hence its own trailing CRC. It wraps a full LoadRecord
+// (which keeps its inner CRC: a slot is also readable remotely) and
+// adds the push-path metadata: a per-pusher sequence number and the
+// sender's clock at the instant the write was posted.
+
+// PushMagic identifies a pushed delta record ("RMPU").
+const PushMagic uint32 = 0x524d5055
+
+// PushVersion is the current push record layout version.
+const PushVersion uint8 = 1
+
+// PushRecordSize is the exact encoded size in bytes: a 20-byte push
+// header, the embedded LoadRecord, and the trailing CRC.
+const PushRecordSize = 20 + RecordSize + 4
+
+// PushRecord is one agent-initiated load report: the load record the
+// agent sampled, stamped with when and in what order it was pushed.
+type PushRecord struct {
+	PushSeq  uint32 // per-pusher monotone counter (own transport ordering)
+	PushedNS int64  // sender clock when the write was posted, ns
+	Load     LoadRecord
+}
+
+func (r PushRecord) String() string {
+	return fmt.Sprintf("push seq=%d at=%dns %s", r.PushSeq, r.PushedNS, r.Load)
+}
+
+// AppendTo encodes the record into dst (which must have PushRecordSize
+// capacity from offset 0); dst is returned for chaining. Encoding
+// never fails.
+func (r PushRecord) AppendTo(dst []byte) []byte {
+	if cap(dst) < PushRecordSize {
+		dst = make([]byte, PushRecordSize)
+	}
+	b := dst[:PushRecordSize]
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], PushMagic)
+	b[4] = PushVersion
+	b[5] = 0
+	le.PutUint16(b[6:], 0)
+	le.PutUint32(b[8:], r.PushSeq)
+	le.PutUint64(b[12:], uint64(r.PushedNS))
+	r.Load.AppendTo(b[20 : 20+RecordSize])
+	le.PutUint32(b[20+RecordSize:], crc32.ChecksumIEEE(b[:20+RecordSize]))
+	return b
+}
+
+// Encode returns a freshly allocated encoding of the record.
+func (r PushRecord) Encode() []byte { return r.AppendTo(nil) }
+
+// DecodePush parses and validates a pushed delta record from b. Errors
+// are the shared wire decode errors; a failure of the embedded load
+// record's own validation surfaces unchanged.
+func DecodePush(b []byte) (PushRecord, error) {
+	var r PushRecord
+	if len(b) < PushRecordSize {
+		return r, ErrShort
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != PushMagic {
+		return r, ErrMagic
+	}
+	if b[4] != PushVersion {
+		return r, ErrVersion
+	}
+	if le.Uint32(b[20+RecordSize:]) != crc32.ChecksumIEEE(b[:20+RecordSize]) {
+		return r, ErrChecksum
+	}
+	if b[5] != 0 || le.Uint16(b[6:]) != 0 {
+		return r, ErrReserved
+	}
+	load, err := Decode(b[20 : 20+RecordSize])
+	if err != nil {
+		return r, err
+	}
+	r.PushSeq = le.Uint32(b[8:])
+	r.PushedNS = int64(le.Uint64(b[12:]))
+	r.Load = load
+	return r, nil
+}
