@@ -6,9 +6,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke hybrid-smoke bench bench-baseline bench-check clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke hybrid-smoke churn-smoke bench bench-baseline bench-check clean
 
-ci: vet build race bench-check fuzz chaos-smoke ha-smoke hybrid-smoke
+ci: vet build race bench-check fuzz chaos-smoke ha-smoke hybrid-smoke churn-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,8 @@ test:
 
 # The real gate: race detector on, test order shuffled so hidden
 # inter-test ordering dependencies surface instead of calcifying.
+# Includes the livemon goroutine/fd leak checks and the pool
+# connection-churn test, so leaks and teardown races fail here.
 race:
 	$(GO) test -race -shuffle=on ./...
 
@@ -52,6 +54,14 @@ ha-smoke:
 # the same effective-staleness bound, non-zero exit on any violation.
 hybrid-smoke:
 	$(GO) run ./cmd/rmbench -exp hybrid -quick
+
+# Connection-lifecycle smoke: the pooled scale-out at 1024 back-ends
+# (quick phases) through crash/restart churn, a dial storm and an fd
+# clamp — asserts zero stale-epoch reads, epoch-fence replay, dial
+# rate within budget and leak-free teardown, non-zero exit on any
+# violation.
+churn-smoke:
+	$(GO) run ./cmd/rmbench -exp scale -backends 1024 -quick
 
 # One-command reproduction pass over the paper's tables and figures.
 bench:

@@ -24,6 +24,27 @@ type scaleBaseline struct {
 	Speedup    float64 `json:"speedup_vs_sequential"`
 }
 
+// pooledBaseline pins the pooled scale-out at 1024 back-ends: how much
+// dialing, shedding and hot staleness the connection-lifecycle layer
+// costs to hold a fleet on a conns/dial-rate budget. The run is
+// deterministic; the gate's 15% tolerance only absorbs intentional
+// cost-model changes.
+type pooledBaseline struct {
+	Backends     int     `json:"backends"`
+	MaxConns     int     `json:"max_conns"`
+	DialsPerSec  int     `json:"dials_per_sec"`
+	DialsTotal   uint64  `json:"dials_total"`
+	ShedTotal    uint64  `json:"shed_total"`
+	HotStaleMaxT float64 `json:"hot_stale_max_t"`
+}
+
+// benchBaselines is the committed BENCH_scale.json shape: the sweep
+// gate point plus the pooled 1024-back-end point.
+type benchBaselines struct {
+	Gate   scaleBaseline  `json:"gate"`
+	Pooled pooledBaseline `json:"pooled_1024"`
+}
+
 // benchScalePoint runs the gate configuration — 256 back-ends, 4
 // shards, doorbell batch 32 — plus its sequential baseline (for the
 // speedup figure). The simulation is deterministic, so the figures are
@@ -36,6 +57,25 @@ func benchScalePoint() scaleBaseline {
 		Backends: p.Backends, Shards: p.Shards, Batch: p.Batch,
 		CycleP50Us: p.CycleP50Us, ProbeP99Us: p.ProbeP99Us, Speedup: p.Speedup,
 	}
+}
+
+// benchScalePooled runs the pooled scale-out at 1024 back-ends with
+// default budgets (conns = fleet/8, dials/s = fleet) and folds the run
+// into the baseline scalars.
+func benchScalePooled() (pooledBaseline, *experiments.ScaleOutData) {
+	d := experiments.Scale(experiments.Options{Backends: 1024})
+	out := d.Out
+	p := pooledBaseline{
+		Backends: out.Backends, MaxConns: out.MaxConns, DialsPerSec: out.DialsPerSec,
+	}
+	for _, ph := range out.Phases {
+		p.DialsTotal += ph.Dials
+		p.ShedTotal += ph.Sheds
+		if ph.HotAgeMaxT > p.HotStaleMaxT {
+			p.HotStaleMaxT = ph.HotAgeMaxT
+		}
+	}
+	return p, out
 }
 
 // BenchmarkScale256 reports the probe engine's headline figures at the
@@ -51,6 +91,20 @@ func BenchmarkScale256(b *testing.B) {
 	b.ReportMetric(p.Speedup, "speedup-x")
 }
 
+// BenchmarkScale1024 reports the pooled transport's figures at 1024
+// back-ends on a 128-conn budget: total dials, shed probe slots, and
+// the worst hot effective staleness (in probe periods) across the
+// churn, dial-storm and fd-clamp phases.
+func BenchmarkScale1024(b *testing.B) {
+	var p pooledBaseline
+	for i := 0; i < b.N; i++ {
+		p, _ = benchScalePooled()
+	}
+	b.ReportMetric(float64(p.DialsTotal), "dials")
+	b.ReportMetric(float64(p.ShedTotal), "sheds")
+	b.ReportMetric(p.HotStaleMaxT, "hot-stale-max-T")
+}
+
 // TestBenchScaleRegression is the bench-check gate. With BENCH_WRITE=1
 // it rewrites the baseline instead (the bench-baseline target).
 func TestBenchScaleRegression(t *testing.T) {
@@ -58,27 +112,31 @@ func TestBenchScaleRegression(t *testing.T) {
 		t.Skip("slow benchmark gate; skipped with -short")
 	}
 	got := benchScalePoint()
+	gotPooled, out := benchScalePooled()
+	if out.Failed {
+		t.Fatalf("pooled 1024 point reported violations:\n%v", out.Notes)
+	}
 	if os.Getenv("BENCH_WRITE") == "1" {
-		buf, err := json.MarshalIndent(got, "", "  ")
+		buf, err := json.MarshalIndent(benchBaselines{Gate: got, Pooled: gotPooled}, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(benchBaselineFile, append(buf, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("baseline rewritten: %+v", got)
+		t.Logf("baseline rewritten: gate %+v, pooled %+v", got, gotPooled)
 		return
 	}
 	raw, err := os.ReadFile(benchBaselineFile)
 	if err != nil {
 		t.Fatalf("no committed baseline (run `make bench-baseline` and commit it): %v", err)
 	}
-	var want scaleBaseline
+	var want benchBaselines
 	if err := json.Unmarshal(raw, &want); err != nil {
 		t.Fatalf("corrupt %s: %v", benchBaselineFile, err)
 	}
-	if got.Backends != want.Backends || got.Shards != want.Shards || got.Batch != want.Batch {
-		t.Fatalf("gate configuration drifted: measured %+v, baseline %+v", got, want)
+	if got.Backends != want.Gate.Backends || got.Shards != want.Gate.Shards || got.Batch != want.Gate.Batch {
+		t.Fatalf("gate configuration drifted: measured %+v, baseline %+v", got, want.Gate)
 	}
 	const tol = 1.15
 	worse := func(name string, got, base float64) {
@@ -86,9 +144,18 @@ func TestBenchScaleRegression(t *testing.T) {
 			t.Errorf("%s regressed: %.1f vs baseline %.1f (>%.0f%% worse)", name, got, base, (tol-1)*100)
 		}
 	}
-	worse("cycle p50 us", got.CycleP50Us, want.CycleP50Us)
-	worse("probe p99 us", got.ProbeP99Us, want.ProbeP99Us)
-	if got.Speedup*tol < want.Speedup {
-		t.Errorf("speedup regressed: %.1fx vs baseline %.1fx", got.Speedup, want.Speedup)
+	worse("cycle p50 us", got.CycleP50Us, want.Gate.CycleP50Us)
+	worse("probe p99 us", got.ProbeP99Us, want.Gate.ProbeP99Us)
+	if got.Speedup*tol < want.Gate.Speedup {
+		t.Errorf("speedup regressed: %.1fx vs baseline %.1fx", got.Speedup, want.Gate.Speedup)
 	}
+
+	wp := want.Pooled
+	if gotPooled.Backends != wp.Backends || gotPooled.MaxConns != wp.MaxConns ||
+		gotPooled.DialsPerSec != wp.DialsPerSec {
+		t.Fatalf("pooled configuration drifted: measured %+v, baseline %+v", gotPooled, wp)
+	}
+	worse("pooled dials", float64(gotPooled.DialsTotal), float64(wp.DialsTotal))
+	worse("pooled sheds", float64(gotPooled.ShedTotal), float64(wp.ShedTotal))
+	worse("pooled hot stale max T", gotPooled.HotStaleMaxT, wp.HotStaleMaxT)
 }

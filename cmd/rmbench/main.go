@@ -33,6 +33,9 @@ func main() {
 		pushTh = flag.Float64("push-threshold", 0, "-exp hybrid: load-index delta that triggers a push (0 = default 0.05)")
 		perMin = flag.Int("period-min", 0, "-exp hybrid: fastest adaptive probe period, in probe periods T (0 = default 1)")
 		perMax = flag.Int("period-max", 0, "-exp hybrid: slowest adaptive probe period, in probe periods T (0 = default 64)")
+		conns  = flag.Int("max-conns", 0, "-exp scale: pooled scale-out connection budget (0 = fleet/8)")
+		dials  = flag.Int("dials-per-sec", 0, "-exp scale: pooled scale-out dial-rate budget (0 = fleet size)")
+		poolGC = flag.Int("pool-idle-ms", 0, "-exp scale: pooled scale-out idle-conn GC age in ms (0 = default 500)")
 		format = flag.String("format", "table", "output format: table, csv, plot")
 	)
 	flag.Parse()
@@ -56,6 +59,7 @@ func main() {
 		Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds,
 		Backends: *nback, Shards: *shards, Batch: *batch,
 		PushThreshold: *pushTh, PeriodMin: *perMin, PeriodMax: *perMax,
+		MaxConns: *conns, DialsPerSec: *dials, PoolIdleMS: *poolGC,
 	}
 	failed := false
 	for _, id := range ids {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"rdmamon/internal/admission"
+	"rdmamon/internal/connpool"
 	"rdmamon/internal/core"
 	"rdmamon/internal/faults"
 	"rdmamon/internal/httpsim"
@@ -94,6 +95,15 @@ type Config struct {
 	// aggregation region, and the monitor adapts each back-end's poll
 	// period to its change rate. Ignored under the socket schemes.
 	Hybrid *core.HybridConfig
+
+	// Pool, if non-nil, routes every monitor's one-sided probes
+	// through a connection-lifecycle pool (see internal/connpool):
+	// per-probe conn acquisition under explicit budgets (max conns,
+	// dials/s, fd budget), epoch-fenced reuse, per-backend dial
+	// breakers, quiet-first shedding. nil keeps the seed behaviour —
+	// probes route by (target, rkey) with no connection accounting —
+	// bit-for-bit. RDMA schemes only.
+	Pool *connpool.Config
 
 	// Replicas is the number of front-end replicas. Zero or one keeps
 	// the seed topology: a single front-end on node 0, no lease. With
@@ -417,11 +427,18 @@ func (c *Cluster) Primary() *Replica {
 // monitorConfig maps the cluster's sharding/batching knobs onto the
 // probe engine's config (zero values = the sequential monitor).
 func (c *Cluster) monitorConfig() core.MonitorConfig {
-	return core.MonitorConfig{
+	mc := core.MonitorConfig{
 		Shards: c.Cfg.MonitorShards,
 		Batch:  c.Cfg.MonitorBatch,
 		Hybrid: c.Cfg.Hybrid,
+		Pool:   c.Cfg.Pool,
 	}
+	if mc.Pool != nil {
+		// Deterministic backoff jitter, derived from the cluster seed
+		// the same way tcpverbs' SeedJitter is on the live path.
+		mc.PoolSeed = c.Cfg.Seed*31 + 0x9e37
+	}
+	return mc
 }
 
 // agentConfig is the per-backend agent configuration, shared by New
@@ -632,6 +649,11 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 			c.Pushers[i].Stop()
 			c.Pushers[i] = nil
 		}
+		// A crashed back-end takes its accept path with it: every
+		// established QP targeting it goes to the error state, so
+		// pooled monitors fence and redial instead of reading a ghost.
+		// No-op (and no random draws) when nothing holds QPs to it.
+		c.Fab.ResetListener(node)
 	}
 	in.OnRestart = func(node int) {
 		if r := c.replicaByNode(node); r != nil {

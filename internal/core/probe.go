@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rdmamon/internal/connpool"
 	"rdmamon/internal/metrics"
 	"rdmamon/internal/sim"
 	"rdmamon/internal/simnet"
@@ -339,6 +340,20 @@ type Monitor struct {
 	// cached record).
 	StalePushes uint64
 
+	// PoolSheds counts probe slots deferred because a pool budget
+	// (conns, fds, dial rate, breaker) was exhausted; PoolShedHot is
+	// the subset that hit a hot back-end (should stay ~0 — the
+	// degradation ladder sheds quiet targets first).
+	PoolSheds   uint64
+	PoolShedHot uint64
+	// FenceRejects counts one-sided completions rejected by the pool's
+	// epoch fence (conn recycled while the read was in flight) and
+	// replayed instead of served — each one is a stale read that was
+	// caught, never one that was served.
+	FenceRejects uint64
+
+	pool *connpool.Pool[int, *simnet.QP]
+
 	hyb map[int]*hybridState
 
 	shardCycles []uint64
@@ -372,6 +387,16 @@ type MonitorConfig struct {
 	// hybrid.go). Socket schemes ignore it — there is no one-sided
 	// write path to trade probes against.
 	Hybrid *HybridConfig
+	// Pool, when non-nil on an RDMA scheme, routes every untripped
+	// one-sided probe through a connection-lifecycle pool (see
+	// internal/connpool and pool.go): connections are acquired per
+	// probe under explicit budgets, recycled conns are epoch-fenced,
+	// and budget exhaustion sheds quiet back-ends first. nil preserves
+	// the seed behaviour bit-for-bit.
+	Pool *connpool.Config
+	// PoolSeed pins the pool's backoff jitter for deterministic
+	// replay (0 keeps the entropy seed).
+	PoolSeed int64
 }
 
 func (c MonitorConfig) withDefaults(n int) MonitorConfig {
@@ -419,6 +444,7 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 		m.Sink = NewPushSink(front, fnic, m.order)
 		m.Sink.OnRecord = m.notePush
 	}
+	m.initPool()
 	m.shardCycles = make([]uint64, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		// Contiguous balanced slices: shard s owns order[lo:hi].
@@ -454,18 +480,38 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 				}
 				if m.cfg.Batch > 1 {
 					// Extend a run of batch-eligible, due back-ends up to
-					// the doorbell limit.
+					// the doorbell limit. Under a pool the run also stops
+					// at the first target without a ready connection —
+					// that slot dials (or sheds) on the sequential path.
 					j := i
+					var leases []connpool.Lease[int, *simnet.QP]
 					for j < len(ids) && j-i < m.cfg.Batch &&
 						m.Probers[ids[j]].batchEligible() && m.dueNow(ids[j]) {
+						if m.pool != nil {
+							l, ok := m.tryLease(ids[j])
+							if !ok {
+								break
+							}
+							leases = append(leases, l)
+						}
 						j++
 					}
 					if j > i+1 {
-						m.probeBatch(tk, ids[i:j], func() { step(j) })
+						m.probeBatch(tk, ids[i:j], leases, func() { step(j) })
+						return
+					}
+					if len(leases) == 1 {
+						// A one-long run still holds its lease: probe it
+						// fenced without paying for a doorbell batch.
+						m.fencedProbe(tk, ids[i], leases[0], func() { step(i + 1) })
 						return
 					}
 				}
 				id := ids[i]
+				if m.pool != nil && m.Probers[id].batchEligible() {
+					m.pooledProbe(tk, id, func() { step(i + 1) })
+					return
+				}
 				m.Probers[id].ProbeOnce(tk, func(_ wire.LoadRecord, err error) {
 					m.observeProbe(id, err)
 					step(i + 1)
@@ -473,6 +519,11 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 			}
 			sweep = func() {
 				sweepStart = front.Eng.Now()
+				if m.pool != nil {
+					// Idle GC once per sweep: quiet targets' conns age
+					// out, returning fds to the budget.
+					m.pool.GC()
+				}
 				step(0)
 			}
 			sweep()
@@ -483,8 +534,12 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 
 // probeBatch posts one doorbell-batched multi-WR read covering ids
 // (all batch-eligible when posted) and applies each completion through
-// the same per-backend outcome logic a standalone probe uses.
-func (m *Monitor) probeBatch(tk *simos.Task, ids []int, then func()) {
+// the same per-backend outcome logic a standalone probe uses. Under a
+// pool, leases[i] is the held lease for ids[i]: every completion is
+// epoch-fenced before its record may be served — a slot whose conn
+// was recycled in flight is rejected and replayed on a fresh conn,
+// never silently served stale.
+func (m *Monitor) probeBatch(tk *simos.Task, ids []int, leases []connpool.Lease[int, *simnet.QP], then func()) {
 	start := tk.Node().Eng.Now()
 	probers := make([]*Prober, len(ids))
 	reqs := make([]simnet.ReadReq, len(ids))
@@ -504,6 +559,21 @@ func (m *Monitor) probeBatch(tk *simos.Task, ids []int, then func()) {
 			next := func(_ wire.LoadRecord, err error) {
 				m.observeProbe(p.Backend, err)
 				step(i + 1)
+			}
+			if m.pool != nil {
+				l := leases[i]
+				if served := m.pool.Fence(l) && l.Conn.Valid(); !served {
+					m.FenceRejects++
+					m.pool.Invalidate(l)
+					if res.Err == nil {
+						// Intact data over a recycled conn: replay the
+						// slot on a fresh connection.
+						m.pooledProbeN(tk, p.Backend, 1, func() { step(i + 1) })
+						return
+					}
+				} else {
+					m.pool.Release(l, res.Err)
+				}
 			}
 			if res.Err != nil {
 				if res.Err == simnet.ErrTimeout {
@@ -688,7 +758,10 @@ func (m *Monitor) Latest(backend int) (wire.LoadRecord, sim.Time, bool) {
 	return p.Latest()
 }
 
-// Stop ends the monitoring process.
+// Stop ends the monitoring process. Idempotent. The connection pool
+// is drained last: every pooled QP is closed and its fd returned, so
+// a stopped monitor leaks nothing (asserted by the scale experiment's
+// teardown check).
 func (m *Monitor) Stop() {
 	m.stopped = true
 	for _, t := range m.tasks {
@@ -699,6 +772,9 @@ func (m *Monitor) Stop() {
 	}
 	if m.Sink != nil {
 		m.Sink.Close()
+	}
+	if m.pool != nil {
+		m.pool.Close()
 	}
 }
 

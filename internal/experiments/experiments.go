@@ -45,6 +45,15 @@ type Options struct {
 	PushThreshold float64
 	PeriodMin     int
 	PeriodMax     int
+
+	// MaxConns, DialsPerSec and PoolIdleMS size the pooled scale-out
+	// run's connection budget, dial-rate budget and idle-conn GC age.
+	// Setting any of them (or Backends >= 1024) switches -exp scale
+	// from the sweep to the pooled scale-out with fault phases; zero
+	// means fleet-derived defaults.
+	MaxConns    int
+	DialsPerSec int
+	PoolIdleMS  int
 }
 
 func (o Options) seed() int64 {

@@ -35,9 +35,12 @@ type ScalePoint struct {
 	Speedup float64 // sequential CycleP50 / this CycleP50, same fleet
 }
 
-// ScaleData holds the scale sweep and its pass/fail assessment.
+// ScaleData holds the scale sweep and its pass/fail assessment. Runs
+// past the pooled threshold (see scaleOutMin) carry the scale-out data
+// instead of sweep points.
 type ScaleData struct {
 	Points []ScalePoint
+	Out    *ScaleOutData
 	Failed bool
 	Notes  []string
 }
@@ -50,6 +53,12 @@ type ScaleData struct {
 // sequential monitor's, with zero probe errors and zero per-backend
 // sequence regressions everywhere.
 func Scale(o Options) *ScaleData {
+	if o.Backends >= scaleOutMin || o.MaxConns > 0 || o.DialsPerSec > 0 || o.PoolIdleMS > 0 {
+		// Fleet sizes past the sweep's one-QP-per-backend assumption
+		// (or explicit pool knobs) run the pooled scale-out instead.
+		out := ScaleOut(o)
+		return &ScaleData{Out: out, Failed: out.Failed, Notes: out.Notes}
+	}
 	backends := []int{8, 64, 256, 512}
 	if o.Quick {
 		backends = []int{8, 64, 128}
@@ -178,8 +187,12 @@ func scalePoint(o Options, n, shards, batch int) ScalePoint {
 	return pt
 }
 
-// Result renders the sweep as a table.
+// Result renders the sweep as a table (or delegates to the pooled
+// scale-out's phase table).
 func (d *ScaleData) Result() *Result {
+	if d.Out != nil {
+		return d.Out.Result()
+	}
 	r := &Result{
 		ID:    "scale",
 		Title: "Probe-engine scaling: sweep time vs back-ends x shards x batch (10ms poll, RDMA-Sync)",

@@ -92,6 +92,48 @@ type MRInvalidation struct {
 	At   sim.Time
 }
 
+// DialStorm degrades connection establishment toward Target (Any =
+// every target) during a window: dial attempts are refused with
+// probability Refuse (listener backlog overrun) and/or delayed —
+// the failure mode a thundering herd of monitors inflicts on a
+// restarting fleet. Only the pooled dial path consults it; one-sided
+// data traffic is unaffected.
+type DialStorm struct {
+	Target     int
+	Start, End sim.Time
+	Refuse     float64
+	DelayProb  float64
+	DelayMin   sim.Time
+	DelayMax   sim.Time
+}
+
+func (d DialStorm) matches(target int, now sim.Time) bool {
+	if d.Target != Any && d.Target != target {
+		return false
+	}
+	if now < d.Start {
+		return false
+	}
+	return d.End <= 0 || now < d.End
+}
+
+// FDClamp caps Node's file descriptors to Limit during [Start, End)
+// — the fd-exhaustion regime: new dials fail with ErrFDLimit while
+// established connections keep working. End <= 0 means forever.
+type FDClamp struct {
+	Node       int
+	Start, End sim.Time
+	Limit      int
+}
+
+// ListenerReset bounces Node's accept path at At: every established
+// QP targeting it goes to the error state (simnet.Fabric.ResetListener),
+// forcing initiators through the epoch fence and a redial.
+type ListenerReset struct {
+	Node int
+	At   sim.Time
+}
+
 // Plan is a complete, seeded fault schedule.
 type Plan struct {
 	Seed            int64
@@ -100,6 +142,11 @@ type Plan struct {
 	Crashes         []Crash
 	Freezes         []Freeze
 	MRInvalidations []MRInvalidation
+	// Connection-lifecycle phases (consulted only by the pooled dial
+	// path, so plans without them replay bit-identically).
+	DialStorms     []DialStorm
+	FDClamps       []FDClamp
+	ListenerResets []ListenerReset
 }
 
 // TwoNodeCrashPlan is a canonical plan used by tests and the faults
@@ -132,11 +179,13 @@ type Injector struct {
 	OnMRInvalidate func(node int)
 
 	// Counters (observability for experiments and tests).
-	DroppedMsgs uint64
-	DupedMsgs   uint64
-	DelayedMsgs uint64
-	FailedRDMA  uint64
-	CrashEvents uint64
+	DroppedMsgs    uint64
+	DupedMsgs      uint64
+	DelayedMsgs    uint64
+	FailedRDMA     uint64
+	CrashEvents    uint64
+	RefusedDials   uint64
+	ListenerResets uint64
 }
 
 // NewInjector builds an injector for plan on eng. Call Install to arm
@@ -213,6 +262,28 @@ func (in *Injector) Install(fab *simnet.Fabric, nodes map[int]*simos.Node) {
 			}
 		})
 	}
+	for _, cl := range in.plan.FDClamps {
+		cl := cl
+		nic := fab.NIC(cl.Node)
+		if nic == nil {
+			continue
+		}
+		var prev int
+		at(cl.Start, func() {
+			prev = nic.FDLimit()
+			nic.SetFDLimit(cl.Limit)
+		})
+		if cl.End > cl.Start {
+			at(cl.End, func() { nic.SetFDLimit(prev) })
+		}
+	}
+	for _, lr := range in.plan.ListenerResets {
+		lr := lr
+		at(lr.At, func() {
+			in.ListenerResets++
+			fab.ResetListener(lr.Node)
+		})
+	}
 }
 
 // partitioned reports whether a partition currently severs from->to.
@@ -282,6 +353,36 @@ func (in *Injector) RDMA(from, target int) simnet.RDMAVerdict {
 		}
 		if l.DelayProb > 0 && in.rng.Float64() < l.DelayProb {
 			v.Delay += l.delay(in.rng)
+		}
+	}
+	return v
+}
+
+// Dial implements simnet.DialFaulter. A partition refuses dials (the
+// CM request never gets through); dial storms refuse or delay them
+// probabilistically. Plans without DialStorms draw no randomness
+// here, so historical runs replay bit-identically.
+func (in *Injector) Dial(from, target int) simnet.DialVerdict {
+	if in.partitioned(from, target) {
+		in.RefusedDials++
+		return simnet.DialVerdict{Refuse: true}
+	}
+	var v simnet.DialVerdict
+	now := in.eng.Now()
+	for _, s := range in.plan.DialStorms {
+		if !s.matches(target, now) {
+			continue
+		}
+		if s.Refuse > 0 && in.rng.Float64() < s.Refuse {
+			in.RefusedDials++
+			return simnet.DialVerdict{Refuse: true}
+		}
+		if s.DelayProb > 0 && in.rng.Float64() < s.DelayProb {
+			if s.DelayMax > s.DelayMin {
+				v.Delay += s.DelayMin + sim.Time(in.rng.Int63n(int64(s.DelayMax-s.DelayMin)))
+			} else {
+				v.Delay += s.DelayMin
+			}
 		}
 	}
 	return v

@@ -70,8 +70,10 @@ type Agent struct {
 
 	pusher *Pusher // non-nil when cfg.Push is set
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // StartAgent launches the agent.
@@ -184,22 +186,21 @@ func (a *Agent) Addr() string { return a.verbs.Addr() }
 // Scheme returns the agent's scheme.
 func (a *Agent) Scheme() core.Scheme { return a.cfg.Scheme }
 
-// Close stops the agent.
+// Close stops the agent. Idempotent and safe for concurrent use;
+// every caller observes the first teardown's error.
 func (a *Agent) Close() error {
-	a.mu.Lock()
-	a.closed = true
-	a.mu.Unlock()
-	select {
-	case <-a.stop:
-	default:
+	a.closeOnce.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
 		close(a.stop)
-	}
-	if a.pusher != nil {
-		a.pusher.Close()
-	}
-	err := a.verbs.Close()
-	a.wg.Wait()
-	return err
+		if a.pusher != nil {
+			a.pusher.Close()
+		}
+		a.closeErr = a.verbs.Close()
+		a.wg.Wait()
+	})
+	return a.closeErr
 }
 
 // Pusher exposes the agent's delta pusher (nil unless cfg.Push set).
@@ -293,6 +294,13 @@ type Probe struct {
 	scheme core.Scheme
 	rkey   uint32
 
+	// pool/addr, when set (DialPooled), replace the owned conn: every
+	// fetch leases a shared connection from the pool for the duration
+	// of its locked sequence and returns it after. p.conn then holds
+	// the leased conn only while a fetch is in flight.
+	pool *ConnPool
+	addr string
+
 	// fo, when armed via SetFailover under an RDMA scheme, is the
 	// transport breaker: consecutive one-sided read failures fail the
 	// probe over to the agent's standby socket channel, a low-rate
@@ -328,6 +336,47 @@ func DialTimeout(addr string, opTimeout time.Duration) (*Probe, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// DialPooled connects to an agent through a shared connection pool:
+// the probe owns no connection — every fetch leases one from the pool
+// (dialing under its budgets when none is cached) and returns it when
+// the fetch completes. The initial handshake runs through the same
+// leased path, so even discovery respects the pool's budgets.
+func DialPooled(cp *ConnPool, addr string) (*Probe, error) {
+	p := &Probe{pool: cp, addr: addr}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done, err := p.leaseLocked()
+	if err != nil {
+		return nil, err
+	}
+	err = p.handshake()
+	done(err)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// leaseLocked installs a pooled connection into p.conn for the
+// duration of one locked fetch sequence (a no-op returning a no-op
+// done for probes that own their connection). done must be called
+// with the sequence's final error before p.mu is released: an error
+// recycles the leased conn so the next fetch redials fresh.
+func (p *Probe) leaseLocked() (done func(error), err error) {
+	if p.pool == nil {
+		return func(error) {}, nil
+	}
+	l, err := p.pool.Get(p.addr, true)
+	if err != nil {
+		return nil, err
+	}
+	p.conn = l.Conn
+	return func(opErr error) {
+		p.conn = nil
+		p.pool.Put(l, opErr)
+	}, nil
 }
 
 // handshake queries the info endpoint and stores scheme + rkey.
@@ -372,7 +421,15 @@ func (p *Probe) Failover() *core.Failover {
 
 // SeedJitter makes the connection's retry-backoff jitter deterministic
 // (see tcpverbs.Conn.SeedJitter); tests use it for reproducible runs.
-func (p *Probe) SeedJitter(seed int64) { p.conn.SeedJitter(seed) }
+// Pooled probes hold no connection of their own — there the pool's
+// SeedJitter governs backoff determinism instead.
+func (p *Probe) SeedJitter(seed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.SeedJitter(seed)
+	}
+}
 
 // Fetch retrieves one load record. On failure it re-handshakes once
 // (refreshing scheme and rkey from the — possibly restarted — agent)
@@ -397,6 +454,22 @@ func (p *Probe) Fetch() (wire.LoadRecord, error) {
 func (p *Probe) FetchVia() (wire.LoadRecord, core.Transport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	done, lerr := p.leaseLocked()
+	if lerr != nil {
+		tr := core.TransportSocket
+		if p.scheme.UsesRDMA() {
+			tr = core.TransportRDMA
+		}
+		return wire.LoadRecord{}, tr, lerr
+	}
+	rec, tr, err := p.fetchViaLocked()
+	done(err)
+	return rec, tr, err
+}
+
+// fetchViaLocked is FetchVia's body, run with p.mu held and (for
+// pooled probes) a leased connection installed in p.conn.
+func (p *Probe) fetchViaLocked() (wire.LoadRecord, core.Transport, error) {
 	if p.fo == nil || !p.scheme.UsesRDMA() {
 		tr := core.TransportSocket
 		if p.scheme.UsesRDMA() {
@@ -484,6 +557,18 @@ func (p *Probe) FetchBurst(k int) ([]wire.LoadRecord, error) {
 	if k <= 0 {
 		k = 1
 	}
+	done, lerr := p.leaseLocked()
+	if lerr != nil {
+		return nil, lerr
+	}
+	recs, err := p.burstRecoverLocked(k)
+	done(err)
+	return recs, err
+}
+
+// burstRecoverLocked is the burst body with its one re-handshake
+// retry, run with p.mu held and any leased conn installed.
+func (p *Probe) burstRecoverLocked(k int) ([]wire.LoadRecord, error) {
 	recs, err := p.burstLocked(k)
 	if err == nil {
 		return recs, nil
@@ -541,5 +626,16 @@ func (p *Probe) fetchLocked() (wire.LoadRecord, error) {
 	return p.socketLocked()
 }
 
-// Close tears down the probe connection.
-func (p *Probe) Close() error { return p.conn.Close() }
+// Close tears down the probe connection. Pooled probes own no
+// connection — their leases are per-fetch and the shared pool's Close
+// releases the conns — so Close is a no-op for them. Idempotent.
+func (p *Probe) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pool != nil || p.conn == nil {
+		return nil
+	}
+	err := p.conn.Close()
+	p.conn = nil
+	return err
+}

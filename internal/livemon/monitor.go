@@ -32,8 +32,11 @@ type Monitor struct {
 	due      map[string]time.Time
 	decayed  uint64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	cpool *ConnPool // shared connection pool (nil when probes own conns)
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // quarantineBackoff is how many poll ticks are skipped between probes
@@ -58,6 +61,11 @@ type MonitorConfig struct {
 	// Suspect/Degraded health or lost lease snaps it back to Interval
 	// within one cycle. Works with both polling layouts.
 	Adaptive *AdaptiveConfig
+	// Pool, when non-nil, shares connections across the fleet through a
+	// budgeted pool instead of one owned connection per probe: fetches
+	// lease a conn per sweep, dials are rate-limited and breaker-gated,
+	// idle conns are garbage-collected. Monitor.Close closes the pool.
+	Pool *PoolConfig
 }
 
 // AdaptiveConfig shapes the live adaptive-period controller — the
@@ -121,10 +129,19 @@ func NewMonitorCfg(targets []string, cfg MonitorConfig) (*Monitor, map[string]er
 		m.obsHas = make(map[string]bool)
 		m.due = make(map[string]time.Time)
 	}
+	if cfg.Pool != nil {
+		m.cpool = NewConnPool(*cfg.Pool)
+	}
 	dialErrs := make(map[string]error)
 	var connected []string
 	for _, t := range targets {
-		p, err := Dial(t)
+		var p *Probe
+		var err error
+		if m.cpool != nil {
+			p, err = DialPooled(m.cpool, t)
+		} else {
+			p, err = Dial(t)
+		}
 		if err != nil {
 			dialErrs[t] = err
 			continue
@@ -400,18 +417,26 @@ func (m *Monitor) Targets() []string {
 	return out
 }
 
-// Close stops polling and closes all probe connections.
+// ConnPool exposes the monitor's shared connection pool (nil when the
+// layout is one owned connection per probe); tests use it to inspect
+// budgets and leak-check teardown.
+func (m *Monitor) ConnPool() *ConnPool { return m.cpool }
+
+// Close stops polling, closes all probe connections and the shared
+// pool. Idempotent and safe for concurrent use: every caller returns
+// only after teardown has completed exactly once.
 func (m *Monitor) Close() {
-	select {
-	case <-m.stop:
-	default:
+	m.closeOnce.Do(func() {
 		close(m.stop)
-	}
-	m.wg.Wait()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, p := range m.probes {
-		p.Close()
-	}
-	m.probes = map[string]*Probe{}
+		m.wg.Wait()
+		m.mu.Lock()
+		for _, p := range m.probes {
+			p.Close()
+		}
+		m.probes = map[string]*Probe{}
+		m.mu.Unlock()
+		if m.cpool != nil {
+			m.cpool.Close()
+		}
+	})
 }

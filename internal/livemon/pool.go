@@ -1,0 +1,139 @@
+package livemon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamon/internal/connpool"
+	"rdmamon/internal/tcpverbs"
+)
+
+// ErrPoolSaturated reports a Get that found no budget for its target
+// within AcquireTimeout (also the answer once the pool is closed).
+var ErrPoolSaturated = errors.New("livemon: connection pool saturated")
+
+// PoolConfig shapes the live connection pool — the deployable
+// counterpart of the simulated monitor's pooled transport, driven by
+// the same internal/connpool engine (budgets, breakers, epoch fence).
+type PoolConfig struct {
+	connpool.Config
+
+	// OpTimeout is the per-operation deadline for pool-dialed
+	// connections (<= 0 takes the transport default).
+	OpTimeout time.Duration
+	// AcquireTimeout bounds how long Get blocks while the pool sheds
+	// (default 2s). Budget pressure delays a live caller instead of
+	// failing it, but not forever.
+	AcquireTimeout time.Duration
+	// GCEvery is the idle-GC cadence (default IdleAfterNS/2, floor
+	// 10ms; no GC loop runs when IdleAfterNS is 0).
+	GCEvery time.Duration
+}
+
+// ConnPool shares tcpverbs connections across probes under explicit
+// resource budgets: max conns/fds, a dial-rate token bucket, idle GC
+// and per-target dial breakers. Safe for concurrent use; Close is
+// idempotent and releases every pooled connection.
+type ConnPool struct {
+	cfg  PoolConfig
+	pool *connpool.Pool[string, *tcpverbs.Conn]
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewConnPool builds the pool and, when idle GC is configured, starts
+// its background collector.
+func NewConnPool(cfg PoolConfig) *ConnPool {
+	if cfg.AcquireTimeout <= 0 {
+		cfg.AcquireTimeout = 2 * time.Second
+	}
+	p := connpool.New[string, *tcpverbs.Conn](cfg.Config,
+		func() int64 { return time.Now().UnixNano() })
+	p.OnClose = func(_ string, c *tcpverbs.Conn) { c.Close() }
+	cp := &ConnPool{cfg: cfg, pool: p, stop: make(chan struct{})}
+	if cfg.IdleAfterNS > 0 {
+		every := cfg.GCEvery
+		if every <= 0 {
+			every = time.Duration(cfg.IdleAfterNS / 2)
+		}
+		if every < 10*time.Millisecond {
+			every = 10 * time.Millisecond
+		}
+		cp.wg.Add(1)
+		go func() {
+			defer cp.wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-cp.stop:
+					return
+				case <-t.C:
+					p.GC()
+				}
+			}
+		}()
+	}
+	return cp
+}
+
+// Get blocks until it holds a leased connection to addr: a pooled one,
+// or one it dials under the pool's budgets. Shed verdicts (budget
+// pressure, breaker window, backoff) retry on a short sleep so
+// pressure delays the caller rather than failing it, bounded by
+// AcquireTimeout. Dial errors surface immediately — there the target,
+// not the budget, is the problem.
+func (cp *ConnPool) Get(addr string, hot bool) (connpool.Lease[string, *tcpverbs.Conn], error) {
+	var zero connpool.Lease[string, *tcpverbs.Conn]
+	deadline := time.Now().Add(cp.cfg.AcquireTimeout)
+	for {
+		l, v, reason := cp.pool.Acquire(addr, hot)
+		switch v {
+		case connpool.Conn:
+			return l, nil
+		case connpool.Dial:
+			c, err := tcpverbs.DialTimeout(addr, cp.cfg.OpTimeout)
+			if err != nil {
+				cp.pool.DialFailed(addr)
+				return zero, err
+			}
+			lease, lerr := cp.pool.DialDone(addr, c)
+			if lerr != nil {
+				return zero, lerr
+			}
+			return lease, nil
+		default:
+			if !time.Now().Before(deadline) {
+				return zero, fmt.Errorf("%w (shed: %v)", ErrPoolSaturated, reason)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Put returns a leased connection. A non-nil opErr recycles it (the
+// next Get redials) and feeds the target's breaker.
+func (cp *ConnPool) Put(l connpool.Lease[string, *tcpverbs.Conn], opErr error) {
+	cp.pool.Release(l, opErr)
+}
+
+// Stats snapshots the underlying pool's counters.
+func (cp *ConnPool) Stats() connpool.Stats { return cp.pool.Stats() }
+
+// Pool exposes the underlying budgeted pool for tests.
+func (cp *ConnPool) Pool() *connpool.Pool[string, *tcpverbs.Conn] { return cp.pool }
+
+// Close stops the GC loop and recycles every pooled connection.
+// Idempotent and safe for concurrent use: every caller returns only
+// after teardown has completed once.
+func (cp *ConnPool) Close() {
+	cp.closeOnce.Do(func() {
+		close(cp.stop)
+		cp.wg.Wait()
+		cp.pool.Close()
+	})
+}

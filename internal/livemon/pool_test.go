@@ -1,0 +1,163 @@
+package livemon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rdmamon/internal/connpool"
+	"rdmamon/internal/core"
+)
+
+// startFleet launches n RDMA-Sync agents and returns their addresses.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		a, err := StartAgent(Config{Scheme: core.RDMASync, NodeID: uint16(i + 1), Provider: synthetic(i + 1)})
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+		t.Cleanup(func() { a.Close() })
+		addrs[i] = a.Addr()
+	}
+	return addrs
+}
+
+// TestPooledMonitor runs the live monitor through a shared connection
+// pool whose budget is smaller than the fleet: every target must still
+// produce records (eviction recycles idle conns to make room), the
+// budget must hold, and Close must return every connection.
+func TestPooledMonitor(t *testing.T) {
+	leakCheck(t)
+	addrs := startFleet(t, 6)
+	m, errs := NewMonitorCfg(addrs, MonitorConfig{
+		Interval: 20 * time.Millisecond,
+		Shards:   2,
+		Pool: &PoolConfig{
+			Config:         connpool.Config{MaxConns: 4, DialsPerSec: 500},
+			AcquireTimeout: 5 * time.Second,
+		},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("dial errors: %v", errs)
+	}
+	defer m.Close()
+	if m.ConnPool() == nil {
+		t.Fatal("pooled config produced no ConnPool")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, a := range addrs {
+			if _, _, ok := m.Latest(a); !ok {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("not every target produced a record through the pool")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := m.ConnPool().Stats()
+	if st.MaxLive > 4 {
+		t.Fatalf("pool exceeded its budget: MaxLive %d > 4", st.MaxLive)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("6 targets over 4 conns never evicted: %+v", st)
+	}
+	m.Close()
+	if st := m.ConnPool().Stats(); st.Live != 0 || st.Dialing != 0 {
+		t.Fatalf("connections survived Close: %+v", st)
+	}
+}
+
+// TestMonitorCloseIdempotent closes a monitor from several goroutines
+// at once, then again after: no panic, no deadlock, and every caller
+// returns only after teardown is complete (all conns released).
+func TestMonitorCloseIdempotent(t *testing.T) {
+	leakCheck(t)
+	addrs := startFleet(t, 3)
+	m, errs := NewMonitorCfg(addrs, MonitorConfig{
+		Interval: 10 * time.Millisecond,
+		Pool: &PoolConfig{
+			Config:         connpool.Config{MaxConns: 3},
+			AcquireTimeout: 5 * time.Second,
+		},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("dial errors: %v", errs)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Close()
+		}()
+	}
+	wg.Wait()
+	m.Close() // and once more, sequentially
+	if st := m.ConnPool().Stats(); st.Live != 0 || st.Dialing != 0 {
+		t.Fatalf("connections survived concurrent Close: %+v", st)
+	}
+}
+
+// TestAgentCloseIdempotent double-closes an agent concurrently; the
+// verbs listener must tear down exactly once with no panic.
+func TestAgentCloseIdempotent(t *testing.T) {
+	leakCheck(t)
+	a, err := StartAgent(Config{Scheme: core.SocketAsync, NodeID: 1, Provider: synthetic(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Close()
+		}()
+	}
+	wg.Wait()
+	if e1, e2 := a.Close(), a.Close(); e1 != e2 {
+		t.Fatalf("repeated Close changed its answer: %v then %v", e1, e2)
+	}
+}
+
+// TestPooledProbeFailover checks that a pooled probe still runs the
+// failover ladder: kill the agent, and the pooled fetch must fail (and
+// recycle its lease) rather than hang or serve a stale record.
+func TestPooledProbeFailover(t *testing.T) {
+	leakCheck(t)
+	a, err := StartAgent(Config{Scheme: core.RDMASync, NodeID: 1, Provider: synthetic(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewConnPool(PoolConfig{
+		Config:         connpool.Config{MaxConns: 2, BackoffNS: int64(time.Millisecond)},
+		OpTimeout:      200 * time.Millisecond,
+		AcquireTimeout: time.Second,
+	})
+	defer cp.Close()
+	p, err := DialPooled(cp, a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(); err != nil {
+		t.Fatalf("pooled fetch: %v", err)
+	}
+	a.Close()
+	if _, err := p.Fetch(); err == nil {
+		t.Fatal("fetch succeeded against a dead agent")
+	}
+	st := cp.Stats()
+	if st.Recycles == 0 && st.DialErrors == 0 {
+		t.Fatalf("dead agent neither recycled nor failed a dial: %+v", st)
+	}
+}

@@ -1,0 +1,141 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simos"
+)
+
+// dialOnce drives one Dial from node 0 to target and returns its
+// outcome after the engine settles.
+func dialOnce(r *rig, target int) (qp *QP, err error, done bool) {
+	r.nodes[0].Spawn("dial", func(tk *simos.Task) {
+		r.nics[0].Dial(tk, target, func(q *QP, e error) {
+			qp, err, done = q, e, true
+		})
+	})
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+	return
+}
+
+// TestDialEstablishesQPAndFD: a successful dial opens exactly one QP,
+// holds one initiator fd, and costs at least the connection-manager
+// round trip.
+func TestDialEstablishesQPAndFD(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	start := r.eng.Now()
+	qp, err, done := dialOnce(r, 1)
+	if !done || err != nil {
+		t.Fatalf("dial: done=%v err=%v", done, err)
+	}
+	if !qp.Valid() || qp.Target() != 1 {
+		t.Fatalf("qp invalid or mistargeted: %+v", qp)
+	}
+	if r.nics[0].QPsOpen() != 1 || r.nics[0].FDsInUse() != 1 {
+		t.Fatalf("qps=%d fds=%d, want 1/1", r.nics[0].QPsOpen(), r.nics[0].FDsInUse())
+	}
+	if r.nics[0].Dials != 1 || r.nics[0].DialErrors != 0 {
+		t.Fatalf("counters dials=%d errs=%d, want 1/0", r.nics[0].Dials, r.nics[0].DialErrors)
+	}
+	if took := r.eng.Now() - start; took == 0 {
+		t.Fatal("dial completed in zero time; CM exchange not modeled")
+	}
+
+	// CloseQP releases both, and is idempotent.
+	r.nics[0].CloseQP(qp)
+	r.nics[0].CloseQP(qp)
+	if r.nics[0].QPsOpen() != 0 || r.nics[0].FDsInUse() != 0 {
+		t.Fatalf("after close: qps=%d fds=%d, want 0/0", r.nics[0].QPsOpen(), r.nics[0].FDsInUse())
+	}
+	if qp.Valid() {
+		t.Fatal("closed QP still valid")
+	}
+}
+
+// TestDialFDLimit: with the fd budget exhausted, a dial fails locally
+// with ErrFDLimit without consuming a descriptor or touching the wire.
+func TestDialFDLimit(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	r.nics[0].SetFDLimit(1)
+	qp, err, _ := dialOnce(r, 1)
+	if err != nil {
+		t.Fatalf("first dial under limit 1: %v", err)
+	}
+	if _, err2, done := dialOnce(r, 1); !done || !errors.Is(err2, ErrFDLimit) {
+		t.Fatalf("second dial: done=%v err=%v, want ErrFDLimit", done, err2)
+	}
+	if r.nics[0].FDsInUse() != 1 {
+		t.Fatalf("failed dial leaked an fd: %d in use", r.nics[0].FDsInUse())
+	}
+	// Releasing the fd makes the next dial succeed again.
+	r.nics[0].CloseQP(qp)
+	if _, err3, _ := dialOnce(r, 1); err3 != nil {
+		t.Fatalf("dial after release: %v", err3)
+	}
+}
+
+// TestDialDownTargetTimesOut: dialing a down node costs the RDMA
+// timeout, returns ErrTimeout, and returns the fd.
+func TestDialDownTargetTimesOut(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	r.nodes[1].Crash()
+	start := r.eng.Now()
+	_, err, done := dialOnce(r, 1)
+	if !done || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dial to down node: done=%v err=%v, want ErrTimeout", done, err)
+	}
+	if took := r.eng.Now() - start; took < r.fab.Cfg.RDMATimeout {
+		t.Fatalf("failed after %v, before the %v CM timeout", took, r.fab.Cfg.RDMATimeout)
+	}
+	if r.nics[0].FDsInUse() != 0 {
+		t.Fatalf("timed-out dial leaked an fd")
+	}
+	if r.nics[0].DialErrors != 1 {
+		t.Fatalf("DialErrors = %d, want 1", r.nics[0].DialErrors)
+	}
+}
+
+// TestResetListenerInvalidatesQPs: a listener reset flips every
+// established QP targeting the node to the error state — from any
+// initiator — while their fds stay held until CloseQP (that is the
+// leak the pool's fence-and-recycle path exists to stop).
+func TestResetListenerInvalidatesQPs(t *testing.T) {
+	r := newRig(t, 3, Defaults())
+	qp01, err, _ := dialOnce(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp02, err, _ := dialOnce(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qp21 *QP
+	r.nodes[2].Spawn("dial", func(tk *simos.Task) {
+		r.nics[2].Dial(tk, 1, func(q *QP, e error) { qp21 = q })
+	})
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+	if qp21 == nil {
+		t.Fatal("third dial never completed")
+	}
+
+	r.fab.ResetListener(1)
+	if qp01.Valid() || qp21.Valid() {
+		t.Fatal("QPs to the reset node stayed valid")
+	}
+	if !qp02.Valid() {
+		t.Fatal("reset of node 1 invalidated a QP to node 2")
+	}
+	if r.nics[0].QPResets != 1 || r.nics[2].QPResets != 1 {
+		t.Fatalf("QPResets = %d/%d, want 1/1", r.nics[0].QPResets, r.nics[2].QPResets)
+	}
+	// fds held until the owners notice and close.
+	if r.nics[0].FDsInUse() != 2 {
+		t.Fatalf("initiator fds = %d, want 2 (held through the reset)", r.nics[0].FDsInUse())
+	}
+	r.nics[0].CloseQP(qp01)
+	if r.nics[0].FDsInUse() != 1 {
+		t.Fatalf("CloseQP after reset did not release the fd")
+	}
+}

@@ -105,6 +105,10 @@ type Config struct {
 	// work request with ErrTimeout when the target is unreachable
 	// (transport retry counter exhausted in firmware).
 	RDMATimeout sim.Time
+
+	// DialCost is the initiator CPU charged to set up one connection
+	// (allocate the QP, drive the CM exchange).
+	DialCost sim.Time
 }
 
 // Defaults returns fabric constants calibrated to the paper's testbed.
@@ -124,6 +128,7 @@ func Defaults() Config {
 		RTO:            200 * sim.Millisecond,
 		MaxRetries:     8,
 		RDMATimeout:    20 * sim.Millisecond,
+		DialCost:       3 * sim.Microsecond,
 	}
 }
 
@@ -166,6 +171,9 @@ func (c *Config) sanitize() {
 	}
 	if c.RDMAPostWRCost <= 0 {
 		c.RDMAPostWRCost = d.RDMAPostWRCost
+	}
+	if c.DialCost <= 0 {
+		c.DialCost = d.DialCost
 	}
 }
 
@@ -354,6 +362,12 @@ type NIC struct {
 	mrs     map[uint32]*MR
 	nextKey uint32
 
+	// Connection/fd resource model (see qp.go).
+	qps     map[uint64]*QP
+	qpSeq   uint64
+	fdLimit int
+	fdsUsed int
+
 	// Counters (NIC firmware statistics).
 	RDMAReads       uint64
 	RDMAWrites      uint64
@@ -362,6 +376,9 @@ type NIC struct {
 	SendsPosted     uint64
 	SockDrops       uint64
 	DoorbellBatches uint64
+	Dials           uint64
+	DialErrors      uint64
+	QPResets        uint64
 }
 
 // Node returns the node this NIC belongs to.

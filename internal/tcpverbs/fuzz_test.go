@@ -6,6 +6,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"rdmamon/internal/connpool"
 )
 
 // frame prefixes body with its u32 length, like writeFrame.
@@ -68,6 +70,12 @@ func FuzzReadFrame(f *testing.F) {
 // frame bodies over a real connection: whatever the bytes say, the
 // agent must answer with a well-formed reply frame or close the
 // connection — never panic, never hang.
+//
+// Connections come from a budgeted pool (MaxConns bounds the harness's
+// fd footprint) rather than one dial per input: malformed frames that
+// kill the connection recycle it via Invalidate — no breaker or
+// backoff charge, the next input redials — so fd pressure can never
+// accumulate and a dial failure is a genuine bug, never a skip.
 func FuzzServeFrame(f *testing.F) {
 	f.Add([]byte{opRead, 0, 0, 0, 1, 0, 0, 0, 120})
 	f.Add([]byte{opRead})                   // short read body
@@ -86,16 +94,55 @@ func FuzzServeFrame(f *testing.F) {
 	a.RegisterMR(func() []byte { return static }, 120)
 	a.HandleCall("rmon", func(p []byte) []byte { return p })
 
-	f.Fuzz(func(t *testing.T, body []byte) {
-		c, err := DialTimeout(a.Addr(), 2*time.Second)
-		if err != nil {
-			t.Skip("dial failed (fd pressure)")
+	pool := connpool.New[string, *Conn](connpool.Config{MaxConns: 4},
+		func() int64 { return time.Now().UnixNano() })
+	pool.OnClose = func(_ string, c *Conn) { c.Close() }
+	f.Cleanup(pool.Close)
+
+	acquire := func(t *testing.T) connpool.Lease[string, *Conn] {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			l, v, reason := pool.Acquire(a.Addr(), true)
+			switch v {
+			case connpool.Conn:
+				return l
+			case connpool.Dial:
+				c, err := DialTimeout(a.Addr(), 2*time.Second)
+				if err != nil {
+					// The budget guarantees at most MaxConns fds are
+					// ever held, so a refused dial is a real transport
+					// bug, not harness fd pressure.
+					pool.DialFailed(a.Addr())
+					t.Fatalf("dial under fd budget failed: %v", err)
+				}
+				c.Retry = RetryPolicy{Attempts: 1, Backoff: time.Millisecond}
+				l, lerr := pool.DialDone(a.Addr(), c)
+				if lerr != nil {
+					t.Fatalf("pool rejected dialed conn: %v", lerr)
+				}
+				return l
+			default: // Shed: backoff window from a previous failure.
+				_ = reason
+				time.Sleep(time.Millisecond)
+			}
 		}
-		defer c.Close()
-		c.Retry = RetryPolicy{Attempts: 1, Backoff: time.Millisecond}
+		t.Fatal("pool shed for 1000 rounds; acquisition starved")
+		panic("unreachable")
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		l := acquire(t)
 		// roundTrip either returns a parsed reply or a transport error
 		// (agent dropped the connection). Both are acceptable; what is
 		// not acceptable is a panic or a hang past the deadline.
-		_, _, _ = c.roundTrip(body)
+		_, _, err := l.Conn.roundTrip(body)
+		if err != nil {
+			// The agent hung up on this frame: expected for malformed
+			// input. Recycle without charging the target's breaker so
+			// the next input starts from a fresh connection.
+			pool.Invalidate(l)
+			return
+		}
+		pool.Release(l, nil)
 	})
 }
