@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzProcfsParsers -fuzztime=$(FUZZTIME) ./internal/procfs
 	$(GO) test -run=^$$ -fuzz=FuzzLeaseRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPushRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzHistoryRing$$ -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Randomized failover chaos: three seeded fault plans, invariants
 # asserted, non-zero exit on any violation.
@@ -64,12 +65,16 @@ churn-smoke:
 	$(GO) run ./cmd/rmbench -exp scale -backends 1024 -quick
 
 # One-command reproduction pass over the paper's tables and figures.
+# -benchmem surfaces allocs/op and B/op next to the sim-derived
+# metrics (the steady-sweep figures are also reported explicitly).
 bench:
-	$(GO) test -bench . -benchtime 1x
+	$(GO) test -bench . -benchtime 1x -benchmem
 
 # Probe-engine regression gates: replay the deterministic 256-backend
 # scale point and the 512-backend hybrid comparison, failing on >15%
-# regression vs the committed baselines.
+# regression vs the committed baselines (sim figures AND steady-state
+# sweep allocs/op + B/op; the probe data path is asserted to allocate
+# exactly zero).
 bench-check:
 	$(GO) test -run 'TestBenchScaleRegression|TestBenchHybridRegression' .
 

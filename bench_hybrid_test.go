@@ -8,9 +8,13 @@ package rdmamon_test
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 
+	"rdmamon/internal/cluster"
+	"rdmamon/internal/core"
 	"rdmamon/internal/experiments"
+	"rdmamon/internal/sim"
 )
 
 const benchHybridFile = "BENCH_hybrid.json"
@@ -21,6 +25,36 @@ type hybridBaseline struct {
 	PushWRs      uint64  `json:"push_wrs"`
 	WRRatio      float64 `json:"probe_wr_reduction_x"`
 	EffStaleMaxT float64 `json:"eff_stale_max_t"`
+
+	// Steady-state allocation cost per probe-slot check (backends ×
+	// window/T — the decayed scheme posts few WRs, so per-WR figures
+	// would swing wildly with the decay schedule). Includes the event
+	// simulator's own scheduling; gated at tolerance like the WR
+	// figures.
+	SweepAllocsPerOp float64 `json:"sweep_allocs_per_op"`
+	SweepBytesPerOp  float64 `json:"sweep_b_per_op"`
+}
+
+// benchHybridAllocs measures the warmed 512-back-end hybrid fleet's
+// steady-state allocation rate over a one-second window, normalized
+// per probe-slot check.
+func benchHybridAllocs() (allocsPerOp, bytesPerOp float64) {
+	poll := 10 * sim.Millisecond
+	c := cluster.New(cluster.Config{
+		Backends: 512, Scheme: core.RDMASync, Poll: poll,
+		Seed: 1, NoServers: true, MonitorShards: 4, MonitorBatch: 32,
+		Hybrid: &core.HybridConfig{},
+	})
+	c.Eng.RunUntil(2 * sim.Second)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	window := sim.Second
+	c.Eng.RunUntil(2*sim.Second + window)
+	runtime.ReadMemStats(&m1)
+	ops := float64(512) * float64(window) / float64(poll)
+	return float64(m1.Mallocs-m0.Mallocs) / ops,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / ops
 }
 
 // benchHybridPoint runs the gate configuration: the full 512-back-end
@@ -49,9 +83,12 @@ func BenchmarkHybrid512(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p = benchHybridPoint(b)
 	}
+	p.SweepAllocsPerOp, p.SweepBytesPerOp = benchHybridAllocs()
 	b.ReportMetric(float64(p.ProbeWRs), "sim-probe-wrs")
 	b.ReportMetric(p.WRRatio, "probe-wr-reduction-x")
 	b.ReportMetric(p.EffStaleMaxT, "sim-eff-stale-max-T")
+	b.ReportMetric(p.SweepAllocsPerOp, "sweep-allocs/op")
+	b.ReportMetric(p.SweepBytesPerOp, "sweep-B/op")
 }
 
 // TestBenchHybridRegression is the bench-check gate for the hybrid
@@ -63,7 +100,13 @@ func TestBenchHybridRegression(t *testing.T) {
 		t.Skip("slow benchmark gate; skipped with -short")
 	}
 	got := benchHybridPoint(t)
+	if !raceEnabled {
+		got.SweepAllocsPerOp, got.SweepBytesPerOp = benchHybridAllocs()
+	}
 	if os.Getenv("BENCH_WRITE") == "1" {
+		if raceEnabled {
+			t.Fatal("bench-baseline must run without -race: the allocs/op fields would record race-runtime noise")
+		}
 		buf, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -95,5 +138,13 @@ func TestBenchHybridRegression(t *testing.T) {
 	}
 	if got.EffStaleMaxT > want.EffStaleMaxT*tol {
 		t.Errorf("effective staleness regressed: %.1fT vs baseline %.1fT", got.EffStaleMaxT, want.EffStaleMaxT)
+	}
+	if !raceEnabled {
+		if got.SweepAllocsPerOp > want.SweepAllocsPerOp*tol {
+			t.Errorf("sweep allocs/op regressed: %.1f vs baseline %.1f", got.SweepAllocsPerOp, want.SweepAllocsPerOp)
+		}
+		if got.SweepBytesPerOp > want.SweepBytesPerOp*tol {
+			t.Errorf("sweep B/op regressed: %.1f vs baseline %.1f", got.SweepBytesPerOp, want.SweepBytesPerOp)
+		}
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package rdmamon_test
+
+// raceEnabled: see bench_race_test.go.
+const raceEnabled = false

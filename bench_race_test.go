@@ -1,0 +1,9 @@
+//go:build race
+
+package rdmamon_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build: its shadow-memory bookkeeping allocates on paths that are
+// allocation-free in a normal build, so the allocs/op gates are
+// skipped (the sim-derived figures are unaffected and still gated).
+const raceEnabled = true

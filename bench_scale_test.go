@@ -8,9 +8,14 @@ package rdmamon_test
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 
+	"rdmamon/internal/cluster"
+	"rdmamon/internal/core"
 	"rdmamon/internal/experiments"
+	"rdmamon/internal/sim"
+	"rdmamon/internal/wire"
 )
 
 const benchBaselineFile = "BENCH_scale.json"
@@ -22,6 +27,15 @@ type scaleBaseline struct {
 	CycleP50Us float64 `json:"cycle_p50_us"`
 	ProbeP99Us float64 `json:"probe_p99_us"`
 	Speedup    float64 `json:"speedup_vs_sequential"`
+
+	// Steady-state sweep cost per posted one-sided read, measured over
+	// a one-second window of the warmed gate fleet. The figure includes
+	// the discrete-event simulator's own scheduling (closures, event
+	// nodes), so it is gated at tolerance like ns/op; the probe DATA
+	// path — buffers, decode, trend fold — is separately asserted to be
+	// allocation-free (see benchProbeHotPathAllocs).
+	SweepAllocsPerOp float64 `json:"sweep_allocs_per_op"`
+	SweepBytesPerOp  float64 `json:"sweep_b_per_op"`
 }
 
 // pooledBaseline pins the pooled scale-out at 1024 back-ends: how much
@@ -78,6 +92,61 @@ func benchScalePooled() (pooledBaseline, *experiments.ScaleOutData) {
 	return p, out
 }
 
+// benchSweepAllocs measures the warmed gate fleet's steady-state
+// allocation rate: mallocs and bytes per posted one-sided read over a
+// one-second window. The sim engine runs entirely on this goroutine,
+// so the MemStats delta is the sweep's own footprint. The two-second
+// warmup carries the per-prober metric slices past the window's
+// growth boundaries, leaving only amortized tails in the figure.
+func benchSweepAllocs() (allocsPerOp, bytesPerOp float64) {
+	c := cluster.New(cluster.Config{
+		Backends: 256, Scheme: core.RDMASync, Poll: 10 * sim.Millisecond,
+		Seed: 1, NoServers: true, MonitorShards: 4, MonitorBatch: 32,
+	})
+	c.Eng.RunUntil(2 * sim.Second)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	reads0 := c.FNIC.RDMAReads
+	c.Eng.RunUntil(3 * sim.Second)
+	runtime.ReadMemStats(&m1)
+	ops := c.FNIC.RDMAReads - reads0
+	if ops == 0 {
+		return 0, 0
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
+}
+
+// benchProbeHotPathAllocs measures the per-probe data path exactly as
+// the steady sweep executes it — posted-buffer ring decode into the
+// prober-owned view plus the trend fold — with the simulator's event
+// plumbing factored out. The acceptance bar is exactly zero.
+func benchProbeHotPathAllocs() float64 {
+	ring := wire.NewHistoryRing(8, 1)
+	for i := 0; i < 12; i++ {
+		rec := wire.LoadRecord{NodeID: 1, Seq: uint32(i + 1), KTimeNS: int64(i+1) * 5e6, NrRunning: uint16(i)}
+		ring.Push(&rec)
+	}
+	buf := make([]byte, ring.Size())
+	copy(buf, ring.Bytes())
+	point := make([]byte, wire.RecordSize)
+	rec := wire.LoadRecord{NodeID: 1, Seq: 99, KTimeNS: 1e9}
+	copy(point, rec.Encode())
+	var view wire.RingView
+	var tr core.TrendTracker
+	var out wire.LoadRecord
+	return testing.AllocsPerRun(200, func() {
+		if err := wire.DecodeRingInto(&view, buf); err != nil {
+			panic(err)
+		}
+		tr.ObserveRing(&view)
+		if err := wire.DecodeInto(&out, point); err != nil {
+			panic(err)
+		}
+	})
+}
+
 // BenchmarkScale256 reports the probe engine's headline figures at the
 // gate configuration: sweep time and p99 probe latency at 256
 // back-ends, and the speedup over the sequential monitor.
@@ -85,10 +154,13 @@ func BenchmarkScale256(b *testing.B) {
 	var p scaleBaseline
 	for i := 0; i < b.N; i++ {
 		p = benchScalePoint()
+		p.SweepAllocsPerOp, p.SweepBytesPerOp = benchSweepAllocs()
 	}
 	b.ReportMetric(p.CycleP50Us/1000, "sim-cycle-p50-ms")
 	b.ReportMetric(p.ProbeP99Us, "sim-probe-p99-us")
 	b.ReportMetric(p.Speedup, "speedup-x")
+	b.ReportMetric(p.SweepAllocsPerOp, "sweep-allocs/op")
+	b.ReportMetric(p.SweepBytesPerOp, "sweep-B/op")
 }
 
 // BenchmarkScale1024 reports the pooled transport's figures at 1024
@@ -116,7 +188,16 @@ func TestBenchScaleRegression(t *testing.T) {
 	if out.Failed {
 		t.Fatalf("pooled 1024 point reported violations:\n%v", out.Notes)
 	}
+	if !raceEnabled {
+		if hot := benchProbeHotPathAllocs(); hot != 0 {
+			t.Errorf("probe hot path (ring decode + trend fold) allocates %.1f/op, want exactly 0", hot)
+		}
+		got.SweepAllocsPerOp, got.SweepBytesPerOp = benchSweepAllocs()
+	}
 	if os.Getenv("BENCH_WRITE") == "1" {
+		if raceEnabled {
+			t.Fatal("bench-baseline must run without -race: the allocs/op fields would record race-runtime noise")
+		}
 		buf, err := json.MarshalIndent(benchBaselines{Gate: got, Pooled: gotPooled}, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -146,6 +227,10 @@ func TestBenchScaleRegression(t *testing.T) {
 	}
 	worse("cycle p50 us", got.CycleP50Us, want.Gate.CycleP50Us)
 	worse("probe p99 us", got.ProbeP99Us, want.Gate.ProbeP99Us)
+	if !raceEnabled {
+		worse("sweep allocs/op", got.SweepAllocsPerOp, want.Gate.SweepAllocsPerOp)
+		worse("sweep B/op", got.SweepBytesPerOp, want.Gate.SweepBytesPerOp)
+	}
 	if got.Speedup*tol < want.Gate.Speedup {
 		t.Errorf("speedup regressed: %.1fx vs baseline %.1fx", got.Speedup, want.Gate.Speedup)
 	}

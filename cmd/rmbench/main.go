@@ -8,35 +8,44 @@
 //	rmbench -list                # enumerate experiments
 //	rmbench -exp fig7 -quick     # short run (noisier tails)
 //	rmbench -exp fig9 -seed 7    # change the simulation seed
+//	rmbench -exp scale -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"rdmamon/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		exp    = flag.String("exp", "", "experiment id (fig3..fig9, table1, extensions, or 'all')")
-		list   = flag.Bool("list", false, "list experiment ids")
-		quick  = flag.Bool("quick", false, "short runs (noisier tails)")
-		seed   = flag.Int64("seed", 0, "simulation seed (0 = default)")
-		seeds  = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha (0 = default of 5)")
-		seq    = flag.Bool("seq", false, "run sweep points sequentially")
-		nback  = flag.Int("backends", 0, "pin -exp scale to one back-end count (0 = sweep)")
-		shards = flag.Int("shards", 0, "pin -exp scale to one shard count (0 = sweep)")
-		batch  = flag.Int("batch", 0, "pin -exp scale to one doorbell batch size (0 = sweep)")
-		pushTh = flag.Float64("push-threshold", 0, "-exp hybrid: load-index delta that triggers a push (0 = default 0.05)")
-		perMin = flag.Int("period-min", 0, "-exp hybrid: fastest adaptive probe period, in probe periods T (0 = default 1)")
-		perMax = flag.Int("period-max", 0, "-exp hybrid: slowest adaptive probe period, in probe periods T (0 = default 64)")
-		conns  = flag.Int("max-conns", 0, "-exp scale: pooled scale-out connection budget (0 = fleet/8)")
-		dials  = flag.Int("dials-per-sec", 0, "-exp scale: pooled scale-out dial-rate budget (0 = fleet size)")
-		poolGC = flag.Int("pool-idle-ms", 0, "-exp scale: pooled scale-out idle-conn GC age in ms (0 = default 500)")
-		format = flag.String("format", "table", "output format: table, csv, plot")
+		exp     = flag.String("exp", "", "experiment id (fig3..fig9, table1, extensions, or 'all')")
+		list    = flag.Bool("list", false, "list experiment ids")
+		quick   = flag.Bool("quick", false, "short runs (noisier tails)")
+		seed    = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		seeds   = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha (0 = default of 5)")
+		seq     = flag.Bool("seq", false, "run sweep points sequentially")
+		nback   = flag.Int("backends", 0, "pin -exp scale to one back-end count (0 = sweep)")
+		shards  = flag.Int("shards", 0, "pin -exp scale to one shard count (0 = sweep)")
+		batch   = flag.Int("batch", 0, "pin -exp scale to one doorbell batch size (0 = sweep)")
+		pushTh  = flag.Float64("push-threshold", 0, "-exp hybrid: load-index delta that triggers a push (0 = default 0.05)")
+		perMin  = flag.Int("period-min", 0, "-exp hybrid: fastest adaptive probe period, in probe periods T (0 = default 1)")
+		perMax  = flag.Int("period-max", 0, "-exp hybrid: slowest adaptive probe period, in probe periods T (0 = default 64)")
+		conns   = flag.Int("max-conns", 0, "-exp scale: pooled scale-out connection budget (0 = fleet/8)")
+		dials   = flag.Int("dials-per-sec", 0, "-exp scale: pooled scale-out dial-rate budget (0 = fleet size)")
+		poolGC  = flag.Int("pool-idle-ms", 0, "-exp scale: pooled scale-out idle-conn GC age in ms (0 = default 500)")
+		format  = flag.String("format", "table", "output format: table, csv, plot")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
+		traceF  = flag.String("trace", "", "write a runtime execution trace of the runs to this file")
 	)
 	flag.Parse()
 
@@ -46,10 +55,17 @@ func main() {
 			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
+
+	stopProfiling, err := startProfiling(*cpuProf, *memProf, *traceF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmbench:", err)
+		return 1
+	}
+	defer stopProfiling()
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -67,7 +83,7 @@ func main() {
 		res, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rmbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		switch *format {
 		case "csv":
@@ -82,6 +98,64 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "rmbench: invariant violations (see notes above)")
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// startProfiling arms the requested runtime profilers and returns the
+// teardown that flushes them; main routes every exit through it so a
+// profile is never truncated by an early return.
+func startProfiling(cpu, mem, traceFile string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			stop()
+			return func() {}, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return func() {}, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		f, err := os.Create(mem)
+		if err != nil {
+			stop()
+			return func() {}, err
+		}
+		stops = append(stops, func() {
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if werr := pprof.Lookup("heap").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "rmbench: heap profile:", werr)
+			}
+			f.Close()
+		})
+	}
+	return stop, nil
 }

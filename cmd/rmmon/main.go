@@ -48,10 +48,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `rmmon — live fine-grained resource monitoring
 
 subcommands:
-  agent    -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-mr-flap <dur>] [-host-lease]
+  agent    -scheme <name> -listen <addr> -node <id> [-interval <dur>] [-history k] [-mr-flap <dur>] [-host-lease]
            [-push-to <addr> [-push-threshold x] [-push-heartbeat <dur>]]
   probe    -scheme <name> -targets <addr,...> [-interval <dur>] [-count n] [-failover]
-           [-burst k] [-lease <replica-id> [-witness <addr>]]
+           [-burst k] [-history] [-lease <replica-id> [-witness <addr>]]
            [-period-max <dur> [-push-threshold x]]
   once     -target <addr>
   pushhost -listen <addr> -nodes <id,...> [-count n]
@@ -74,6 +74,7 @@ func runAgent(args []string) {
 	listen := fs.String("listen", ":9377", "listen address")
 	node := fs.Int("node", 0, "node id reported in records")
 	interval := fs.Duration("interval", 50*time.Millisecond, "async refresh period")
+	history := fs.Int("history", 0, "RDMA schemes: publish a k-slot history ring instead of a single record (one read fetches the last k samples)")
 	mrFlap := fs.Duration("mr-flap", 0, "chaos: invalidate the RDMA region every interval, re-pinning after 1/4 of it")
 	hostLease := fs.Bool("host-lease", false, "witness role: host the front-end lease word for one-sided CAS")
 	pushTo := fs.String("push-to", "", "hybrid scheme: RDMA-Write delta records to this push host")
@@ -93,6 +94,7 @@ func runAgent(args []string) {
 		Addr:      *listen,
 		NodeID:    uint16(*node),
 		Interval:  *interval,
+		HistoryK:  *history,
 		HostLease: *hostLease,
 		Push:      push,
 	})
@@ -100,8 +102,12 @@ func runAgent(args []string) {
 		fmt.Fprintln(os.Stderr, "rmmon agent:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("rmmon agent: scheme=%s listening on %s (node %d)\n",
-		a.Scheme(), a.Addr(), *node)
+	ringNote := ""
+	if a.RingK() > 0 {
+		ringNote = fmt.Sprintf(" history=%d", a.RingK())
+	}
+	fmt.Printf("rmmon agent: scheme=%s listening on %s (node %d)%s\n",
+		a.Scheme(), a.Addr(), *node, ringNote)
 	if *mrFlap > 0 {
 		go func() {
 			for range time.Tick(*mrFlap) {
@@ -122,6 +128,7 @@ func runProbe(args []string) {
 	count := fs.Int("count", 0, "number of polling cycles (0 = forever)")
 	failover := fs.Bool("failover", false, "arm the RDMA->socket transport breaker (RDMA schemes)")
 	burst := fs.Int("burst", 1, "pipelined reads per probe cycle (RDMA schemes): k distinct samples in ~one round trip")
+	history := fs.Bool("history", false, "fetch each ring-publishing agent's full history window per cycle and report its load trend")
 	leaseID := fs.Int("lease", 0, "front-end replica id (1-based): contend for the dispatch lease hosted by the witness in -witness")
 	witness := fs.String("witness", "", "witness agent address hosting the lease word (default: first target)")
 	periodMax := fs.Duration("period-max", 0, "adaptive polling: decay quiet targets' poll period up to this ceiling (0 = fixed period)")
@@ -170,6 +177,7 @@ func runProbe(args []string) {
 	obs := make([]wire.LoadRecord, len(probes))
 	obsHas := make([]bool, len(probes))
 	due := make([]time.Time, len(probes))
+	trends := make([]core.TrendTracker, len(probes))
 	if *periodMax > 0 {
 		for i := range ctrls {
 			ctrls[i] = &core.PeriodController{Cfg: core.PeriodConfig{
@@ -198,6 +206,20 @@ func runProbe(args []string) {
 		}
 		for i, p := range probes {
 			if ctrls[i] != nil && time.Now().Before(due[i]) {
+				continue
+			}
+			if *history && p.RingK() > 0 {
+				v, err := p.FetchHistory()
+				if err != nil {
+					fmt.Printf("%-22s ERROR %v\n", addrs[i], err)
+					continue
+				}
+				trends[i].ObserveRing(&v)
+				tag := " hist"
+				if s, ok := trends[i].Slope(); ok {
+					tag = fmt.Sprintf(" hist slope=%+.3f/s", s)
+				}
+				printRecord(addrs[i], v.Newest(), w.Index(v.Newest()), time.Since(start), tag)
 				continue
 			}
 			if *burst > 1 && p.Scheme().UsesRDMA() {

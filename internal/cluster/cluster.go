@@ -82,6 +82,29 @@ type Config struct {
 	// MRInvalidations). Zero takes 100ms.
 	MRRepin sim.Time
 
+	// HistoryK publishes a K-slot history ring on every RDMA-scheme
+	// agent instead of the single-record region (see
+	// core.AgentConfig.HistoryK): one probe read fetches the last K
+	// timestamped samples and feeds each prober's trend tracker. Zero
+	// keeps single-record regions bit-for-bit; socket schemes ignore it.
+	HistoryK int
+
+	// AgentInterval overrides the back-end agents' sample/refresh
+	// interval (default Poll). With a history ring this is the window's
+	// sample granularity: agents sampling at AgentInterval while the
+	// monitor polls at Poll = K x AgentInterval cover the same timeline
+	// with 1/K of the probe work requests.
+	AgentInterval sim.Time
+
+	// TrendHorizon turns on trend-aware dispatch under PolicyLeastLoad:
+	// back-ends are ranked on their load index projected TrendHorizon
+	// ahead along the monitor's observed slope, clamped so a stale or
+	// wild trend can shift a rank by at most loadbalance.DefaultTrendClamp
+	// (see loadbalance.WeightedLeastLoad). Zero keeps level-only
+	// ranking. Most useful with HistoryK > 0, which primes slopes from
+	// one read; point probes prime them over consecutive sweeps.
+	TrendHorizon sim.Time
+
 	// Failover, if non-nil, arms a per-backend transport breaker on the
 	// RDMA schemes (see core.Failover): agents additionally serve the
 	// socket standby port, and probes fail over to it when the RDMA
@@ -445,9 +468,14 @@ func (c *Cluster) monitorConfig() core.MonitorConfig {
 // and the fault injector's restart path so a rebooted agent comes back
 // with the same standby-channel arrangement it died with.
 func (c *Cluster) agentConfig() core.AgentConfig {
+	interval := c.Cfg.Poll
+	if c.Cfg.AgentInterval > 0 {
+		interval = c.Cfg.AgentInterval
+	}
 	return core.AgentConfig{
 		Scheme:        c.Cfg.Scheme,
-		Interval:      c.Cfg.Poll,
+		Interval:      interval,
+		HistoryK:      c.Cfg.HistoryK,
 		StandbySocket: c.Cfg.Failover != nil && c.Cfg.Scheme.UsesRDMA(),
 	}
 }
@@ -486,7 +514,7 @@ func (c *Cluster) buildPolicyFor(mon *core.Monitor, rng *rand.Rand) loadbalance.
 			source = func(int) (wire.LoadRecord, bool) { return wire.LoadRecord{}, false }
 		}
 		if c.Cfg.Policy == PolicyLeastLoad {
-			return &loadbalance.WeightedLeastLoad{
+			wll := &loadbalance.WeightedLeastLoad{
 				Backends: ids,
 				Weights:  core.WeightsFor(c.Cfg.Scheme),
 				Source:   source,
@@ -495,6 +523,12 @@ func (c *Cluster) buildPolicyFor(mon *core.Monitor, rng *rand.Rand) loadbalance.
 				Degraded: degraded,
 				Picks:    make(map[int]uint64),
 			}
+			if c.Cfg.TrendHorizon > 0 && mon != nil {
+				m := mon
+				wll.Slope = m.Slope
+				wll.TrendHorizon = c.Cfg.TrendHorizon
+			}
+			return wll
 		}
 		wp := &loadbalance.WeightedProportional{
 			Backends:   ids,

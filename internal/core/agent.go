@@ -76,6 +76,17 @@ type AgentConfig struct {
 	// actually probing through it. Ignored by the socket schemes, which
 	// serve that port anyway.
 	StandbySocket bool
+
+	// HistoryK, when > 0 on an RDMA scheme, registers a K-slot history
+	// ring (wire.HistoryRing) instead of a single-record region: a
+	// kernel timer samples the load every Interval into the ring, so one
+	// one-sided read fetches the K most recent timestamped samples —
+	// e-RDMA-Sync++. The sampler is a timer hook, not a task
+	// (BackendTasks stays 0 for the sync family), preserving the §4
+	// no-extra-thread property. 0 keeps the single-record region
+	// bit-for-bit. Clamped to wire.MaxRingSlots; ignored by socket
+	// schemes.
+	HistoryK int
 }
 
 func (c *AgentConfig) sanitize() {
@@ -87,6 +98,12 @@ func (c *AgentConfig) sanitize() {
 	}
 	if c.CopyCost <= 0 {
 		c.CopyCost = 25 * sim.Microsecond
+	}
+	if c.HistoryK > wire.MaxRingSlots {
+		c.HistoryK = wire.MaxRingSlots
+	}
+	if c.HistoryK < 0 {
+		c.HistoryK = 0
 	}
 }
 
@@ -101,8 +118,12 @@ type Agent struct {
 	nic     *simnet.NIC
 	mr      *simnet.MR
 	mrSrc   func() []byte // registration source, kept for re-pinning
+	mrLen   int           // registered region size (record or ring)
 	shared  []byte        // "known memory location": encoded record
 	dmaBuf  []byte        // scratch for kernel-direct encoding
+	ring    *wire.HistoryRing
+	ringTk  *sim.Ticker // kernel timer filling the ring (not a task)
+	sample  wire.LoadRecord
 	seq     uint32
 	stopped bool
 	tasks   []*simos.Task
@@ -127,9 +148,19 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 		a.startReportThread(false)
 	case RDMAAsync:
 		prime()
+		if cfg.HistoryK > 0 {
+			// The calc loop publishes into the ring as well as the shared
+			// record, so remote readers get history at T granularity with
+			// the scheme's usual asynchronous staleness.
+			a.initRing()
+			a.mrSrc = simnet.StaticSource(a.ring.Bytes())
+			a.mrLen = a.ring.Size()
+		} else {
+			a.mrSrc = simnet.StaticSource(a.shared)
+			a.mrLen = wire.RecordSize
+		}
 		a.startCalcLoop()
-		a.mrSrc = simnet.StaticSource(a.shared)
-		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
+		a.mr = nic.RegisterMR(a.mrSrc, a.mrLen)
 		if cfg.StandbySocket {
 			// Standby channel: answers from the same shared location the
 			// calc loop refreshes, preserving the scheme's asynchronous
@@ -137,16 +168,33 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 			a.startReportThread(true)
 		}
 	case RDMASync, ERDMASync:
-		// Register the kernel statistics directly: the source closure
-		// runs at the remote NIC's DMA instant, with zero host-CPU
-		// cost, and always sees the live values.
-		a.dmaBuf = make([]byte, wire.RecordSize)
-		a.mrSrc = func() []byte {
-			a.seq++
-			rec := RecordFromSnapshot(node.K.Snapshot(), a.seq)
-			return rec.AppendTo(a.dmaBuf)
+		if cfg.HistoryK > 0 {
+			// e-RDMA-Sync++: the region is a K-slot seqlock ring. A
+			// kernel timer (not a task) samples every Interval, and the
+			// DMA-instant source pushes one more live sample as the read
+			// lands — the newest slot is always current, exactly the
+			// RDMA-Sync freshness contract, while the remaining slots
+			// carry the recent history one read now amortizes.
+			a.initRing()
+			a.startRingTimer()
+			a.mrSrc = func() []byte {
+				a.ringPush()
+				return a.ring.Bytes()
+			}
+			a.mrLen = a.ring.Size()
+		} else {
+			// Register the kernel statistics directly: the source closure
+			// runs at the remote NIC's DMA instant, with zero host-CPU
+			// cost, and always sees the live values.
+			a.dmaBuf = make([]byte, wire.RecordSize)
+			a.mrSrc = func() []byte {
+				a.seq++
+				rec := RecordFromSnapshot(node.K.Snapshot(), a.seq)
+				return rec.AppendTo(a.dmaBuf)
+			}
+			a.mrLen = wire.RecordSize
 		}
-		a.mr = nic.RegisterMR(a.mrSrc, wire.RecordSize)
+		a.mr = nic.RegisterMR(a.mrSrc, a.mrLen)
 		if cfg.StandbySocket {
 			// Standby channel: a synchronous report thread reading /proc
 			// per request, like Socket-Sync. It shares the agent's
@@ -159,6 +207,47 @@ func StartAgent(node *simos.Node, nic *simnet.NIC, cfg AgentConfig) *Agent {
 	}
 	return a
 }
+
+// initRing builds the history ring and primes it with one sample so a
+// reader never sees an empty region.
+func (a *Agent) initRing() {
+	a.ring = wire.NewHistoryRing(a.Cfg.HistoryK, uint16(a.node.ID))
+	a.ringPush()
+}
+
+// ringPush samples the kernel and publishes into the ring. Allocation-
+// free: the sample is staged in a.sample and encoded in place.
+func (a *Agent) ringPush() {
+	a.seq++
+	a.sample = RecordFromSnapshot(a.node.K.Snapshot(), a.seq)
+	a.ring.Push(&a.sample)
+}
+
+// startRingTimer arms the kernel-timer sampler that fills the ring
+// every Interval. It is an engine ticker, not a simos task — the
+// monitoring agent still shows zero back-end threads, which is the
+// paper's point.
+func (a *Agent) startRingTimer() {
+	a.ringTk = a.node.Eng.NewTicker(a.Cfg.Interval, func() {
+		if a.stopped {
+			return
+		}
+		a.ringPush()
+	})
+}
+
+// RingK returns the history-ring slot count (0 when the agent exports
+// a single-record region).
+func (a *Agent) RingK() int {
+	if a.ring == nil {
+		return 0
+	}
+	return a.ring.K()
+}
+
+// Ring exposes the agent's history ring (nil without HistoryK);
+// experiments read Pushes() from it.
+func (a *Agent) Ring() *wire.HistoryRing { return a.ring }
 
 // Node returns the back-end node.
 func (a *Agent) Node() *simos.Node { return a.node }
@@ -194,6 +283,10 @@ func (a *Agent) Stop() {
 	for _, t := range a.tasks {
 		t.Exit()
 	}
+	if a.ringTk != nil {
+		a.ringTk.Stop()
+		a.ringTk = nil
+	}
 	if a.mr != nil {
 		a.nic.Deregister(a.mr)
 		a.mr = nil
@@ -220,7 +313,12 @@ func (a *Agent) InvalidateMR(repin sim.Time) {
 		if a.stopped || a.mr != nil {
 			return
 		}
-		a.mr = a.nic.RegisterMR(src, wire.RecordSize)
+		if a.ring != nil {
+			// Readers must not compute slopes across the discontinuity:
+			// advance the ring epoch so their trend state resets.
+			a.ring.BumpEpoch()
+		}
+		a.mr = a.nic.RegisterMR(src, a.mrLen)
 	})
 }
 
@@ -238,7 +336,11 @@ func (a *Agent) startCalcLoop() {
 			tk.ReadProc(func(s simos.Snapshot) {
 				tk.Compute(a.Cfg.CopyCost, func() {
 					a.seq++
-					RecordFromSnapshot(s, a.seq).AppendTo(a.shared)
+					a.sample = RecordFromSnapshot(s, a.seq)
+					a.sample.AppendTo(a.shared)
+					if a.ring != nil {
+						a.ring.Push(&a.sample)
+					}
 					tk.Sleep(a.Cfg.Interval, loop)
 				})
 			})

@@ -160,6 +160,7 @@ type DeltaPusher struct {
 	seq     uint32
 	last    wire.LoadRecord
 	lastAt  sim.Time
+	encBuf  []byte // reusable push-record encode scratch
 	primed  bool
 	stopped bool
 	task    *simos.Task
@@ -204,7 +205,11 @@ func StartDeltaPusher(node *simos.Node, nic *simnet.NIC, front int, slotKey func
 					p.seq++
 					rec.Seq = p.seq
 					pr := wire.PushRecord{PushSeq: p.seq, PushedNS: int64(now), Load: rec}
-					p.nic.RDMAWrite(tk, p.front, p.slotKey(), pr.Encode(), func(err error) {
+					// Encode into the pusher's scratch; RDMAWrite stages
+					// the payload at post time, so the buffer is free for
+					// reuse the moment the call returns.
+					p.encBuf = pr.AppendTo(p.encBuf)
+					p.nic.RDMAWrite(tk, p.front, p.slotKey(), p.encBuf, func(err error) {
 						if p.stopped {
 							tk.Exit()
 							return

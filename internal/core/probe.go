@@ -34,6 +34,24 @@ type Prober struct {
 	lastAt sim.Time
 	has    bool
 
+	// readBuf is the reusable DMA buffer one-sided reads land in: the
+	// steady-state sweep posts it over and over instead of allocating a
+	// region per probe.
+	readBuf []byte
+	// view is the caller-owned decode target for history-ring reads.
+	view wire.RingView
+
+	// Trend accumulates this back-end's load-index slope from every
+	// sample that arrives (ring reads fold whole windows; point probes
+	// and pushes fold one sample, de-duplicated by kernel timestamp).
+	Trend TrendTracker
+	// RingSamples counts history samples folded from ring reads — the
+	// observation coverage one-sided reads bought.
+	RingSamples uint64
+	// TornRetries counts ring snapshots re-read because they caught the
+	// writer mid-update (seqlock discipline; benign, bounded).
+	TornRetries uint64
+
 	// Timeout bounds one probe; 0 disables the deadline (the seed
 	// behaviour, preserved so fault-free experiments are unchanged).
 	// On the socket path a probe whose reply misses the deadline
@@ -164,6 +182,9 @@ func (p *Prober) finishProbe(start sim.Time, rec wire.LoadRecord, err error, tr 
 		p.last = rec
 		p.lastAt = p.front.Eng.Now()
 		p.has = true
+		// Ring reads already folded this window into Trend; the
+		// timestamp guard makes this a no-op then.
+		p.Trend.ObserveRecord(rec)
 		if tr == TransportSocket && p.Scheme.UsesRDMA() {
 			p.Health.DegradedOK()
 		} else {
@@ -247,9 +268,56 @@ func (p *Prober) batchEligible() bool {
 	return p.Scheme.UsesRDMA() && (p.Failover == nil || !p.Failover.Tripped())
 }
 
-// probeRDMA issues the one-sided read path and decodes the record.
+// maxTornRetries bounds the seqlock re-read loop: a ring snapshot that
+// keeps tearing this many times in a row is treated as a real error
+// rather than spinning against a wedged writer.
+const maxTornRetries = 3
+
+// readLen returns the one-sided read size for this back-end: the whole
+// history ring when the agent exports one, a single record otherwise.
+func (p *Prober) readLen() int {
+	if k := p.agent.RingK(); k > 0 {
+		return wire.RingSize(k)
+	}
+	return wire.RecordSize
+}
+
+// readInto returns the prober's DMA buffer sized for the next read,
+// growing it only when the agent's region grew (re-registration with a
+// larger ring).
+func (p *Prober) readInto(n int) []byte {
+	if cap(p.readBuf) < n {
+		p.readBuf = make([]byte, n)
+	}
+	return p.readBuf[:n]
+}
+
+// decodeRead decodes a one-sided read completion in place: a history
+// ring (whose fresh samples fold into Trend) or a bare record. No
+// allocation either way — ring decoding targets the prober-owned view.
+func (p *Prober) decodeRead(data []byte) (wire.LoadRecord, error) {
+	if p.agent.RingK() > 0 {
+		if err := wire.DecodeRingInto(&p.view, data); err != nil {
+			return wire.LoadRecord{}, err
+		}
+		p.RingSamples += uint64(p.Trend.ObserveRing(&p.view))
+		return p.view.Newest(), nil
+	}
+	var rec wire.LoadRecord
+	err := wire.DecodeInto(&rec, data)
+	return rec, err
+}
+
+// probeRDMA issues the one-sided read path and decodes the record. A
+// torn ring snapshot (writer mid-update at the DMA instant) is simply
+// re-read — the seqlock contract — up to maxTornRetries times.
 func (p *Prober) probeRDMA(tk *simos.Task, then func(wire.LoadRecord, error)) {
-	p.fnic.RDMARead(tk, p.Backend, p.agent.RKey(), wire.RecordSize, func(data []byte, err error) {
+	p.probeRDMATry(tk, 0, then)
+}
+
+func (p *Prober) probeRDMATry(tk *simos.Task, attempt int, then func(wire.LoadRecord, error)) {
+	n := p.readLen()
+	p.fnic.RDMAReadInto(tk, p.Backend, p.agent.RKey(), n, p.readInto(n), func(data []byte, err error) {
 		if err != nil {
 			if err == simnet.ErrTimeout {
 				p.Timeouts++
@@ -258,7 +326,12 @@ func (p *Prober) probeRDMA(tk *simos.Task, then func(wire.LoadRecord, error)) {
 			return
 		}
 		tk.Compute(p.decode, func() {
-			rec, derr := wire.Decode(data)
+			rec, derr := p.decodeRead(data)
+			if derr == wire.ErrTorn && attempt < maxTornRetries {
+				p.TornRetries++
+				p.probeRDMATry(tk, attempt+1, then)
+				return
+			}
 			then(rec, derr)
 		})
 	})
@@ -457,6 +530,10 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 		}
 		s := s
 		m.tasks = append(m.tasks, front.Spawn(name, func(tk *simos.Task) {
+			// Shard-owned batch scratch: the WR list, prober list and
+			// completion slots are posted, completed and reused sweep
+			// after sweep — the steady-state sweep allocates nothing.
+			sc := &sweepScratch{}
 			var sweep func()
 			var sweepStart sim.Time
 			var step func(i int)
@@ -497,7 +574,7 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 						j++
 					}
 					if j > i+1 {
-						m.probeBatch(tk, ids[i:j], leases, func() { step(j) })
+						m.probeBatch(tk, ids[i:j], leases, sc, func() { step(j) })
 						return
 					}
 					if len(leases) == 1 {
@@ -532,23 +609,41 @@ func StartMonitorCfg(front *simos.Node, fnic *simnet.NIC, agents []*Agent, poll 
 	return m
 }
 
+// sweepScratch is a shard task's reusable probe-batch storage: prober
+// and WR lists built per batch, and the completion slots the NIC fills
+// in. One instance per shard, reused for the shard's lifetime, keeps
+// the steady-state sweep allocation-free.
+type sweepScratch struct {
+	probers []*Prober
+	reqs    []simnet.ReadReq
+	results []simnet.ReadResult
+}
+
 // probeBatch posts one doorbell-batched multi-WR read covering ids
 // (all batch-eligible when posted) and applies each completion through
 // the same per-backend outcome logic a standalone probe uses. Under a
 // pool, leases[i] is the held lease for ids[i]: every completion is
 // epoch-fenced before its record may be served — a slot whose conn
 // was recycled in flight is rejected and replayed on a fresh conn,
-// never silently served stale.
-func (m *Monitor) probeBatch(tk *simos.Task, ids []int, leases []connpool.Lease[int, *simnet.QP], then func()) {
+// never silently served stale. Each read lands in its prober's own
+// DMA buffer and the batch bookkeeping lives in sc, so the hot path
+// posts no fresh memory.
+func (m *Monitor) probeBatch(tk *simos.Task, ids []int, leases []connpool.Lease[int, *simnet.QP], sc *sweepScratch, then func()) {
 	start := tk.Node().Eng.Now()
-	probers := make([]*Prober, len(ids))
-	reqs := make([]simnet.ReadReq, len(ids))
+	if cap(sc.probers) < len(ids) {
+		sc.probers = make([]*Prober, len(ids))
+		sc.reqs = make([]simnet.ReadReq, len(ids))
+	}
+	probers := sc.probers[:len(ids)]
+	reqs := sc.reqs[:len(ids)]
 	for i, id := range ids {
 		p := m.Probers[id]
 		probers[i] = p
-		reqs[i] = simnet.ReadReq{Target: p.Backend, Key: p.agent.RKey(), Length: wire.RecordSize}
+		n := p.readLen()
+		reqs[i] = simnet.ReadReq{Target: p.Backend, Key: p.agent.RKey(), Length: n, Buf: p.readInto(n)}
 	}
-	m.fnic.RDMAReadBatch(tk, reqs, func(results []simnet.ReadResult) {
+	m.fnic.RDMAReadBatchInto(tk, reqs, sc.results, func(results []simnet.ReadResult) {
+		sc.results = results[:0]
 		var step func(i int)
 		step = func(i int) {
 			if i >= len(probers) {
@@ -583,7 +678,22 @@ func (m *Monitor) probeBatch(tk *simos.Task, ids []int, leases []connpool.Lease[
 				return
 			}
 			tk.Compute(p.decode, func() {
-				rec, derr := wire.Decode(res.Data)
+				rec, derr := p.decodeRead(res.Data)
+				if derr == wire.ErrTorn {
+					// The batch slot caught the ring writer mid-update:
+					// re-read this one back-end on the sequential path
+					// (which owns the bounded retry loop) while the rest
+					// of the batch proceeds.
+					p.TornRetries++
+					if m.pool != nil {
+						m.pooledProbeN(tk, p.Backend, 1, func() { step(i + 1) })
+					} else {
+						p.probeRDMA(tk, func(rec wire.LoadRecord, err error) {
+							p.rdmaOutcome(tk, start, rec, err, next)
+						})
+					}
+					return
+				}
 				p.rdmaOutcome(tk, start, rec, derr, next)
 			})
 		}
@@ -624,7 +734,11 @@ func (m *Monitor) leaseHeld() bool { return m.LeaseValid == nil || m.LeaseValid(
 // observeProbe feeds one completed probe into the back-end's period
 // controller: a failure or a moved load index counts as change and
 // snaps the period to the fast sweep; a quiet, Healthy, leased probe
-// lets it decay.
+// lets it decay. With a history ring the change test uses the ring's
+// own change-rate — the un-smoothed |dIndex/dt| over the window the
+// read fetched, scaled to one fast sweep — instead of comparing two
+// point samples, so a back-end that oscillated between two probes can
+// no longer masquerade as quiet.
 func (m *Monitor) observeProbe(backend int, err error) {
 	st := m.hyb[backend]
 	if st == nil {
@@ -633,7 +747,13 @@ func (m *Monitor) observeProbe(backend int, err error) {
 	p := m.Probers[backend]
 	changed := err != nil || !st.has
 	if !changed {
-		changed = LoadDelta(p.last, st.obs) >= m.cfg.Hybrid.Threshold
+		if p.agent.RingK() > 0 {
+			perSweep := p.Trend.LastRate() *
+				(float64(m.cfg.Hybrid.Period.Min) / float64(sim.Second))
+			changed = perSweep >= m.cfg.Hybrid.Threshold
+		} else {
+			changed = LoadDelta(p.last, st.obs) >= m.cfg.Hybrid.Threshold
+		}
 	}
 	if err == nil && p.has {
 		st.obs = p.last
@@ -670,6 +790,7 @@ func (m *Monitor) notePush(backend int, rec wire.PushRecord, at sim.Time) {
 	p.last = rec.Load
 	p.lastAt = at
 	p.has = true
+	p.Trend.ObserveRecord(rec.Load)
 	p.LastTransport = TransportPush
 	if p.OnRecord != nil {
 		p.OnRecord(rec.Load, at)
@@ -742,11 +863,27 @@ func (m *Monitor) ReplaceAgent(backend int, a *Agent) {
 	}
 	p.agent = a
 	p.Scheme = a.Scheme
+	// A fresh agent's ring restarts at epoch 0 — indistinguishable from
+	// the old one's first epoch — so drop trend state explicitly rather
+	// than let a slope span the restart.
+	p.Trend.Reset()
 	if st := m.hyb[backend]; st != nil {
 		// A restarted back-end's pusher restarts its push sequence; clear
 		// the replay guard so its first post-restart delta is accepted.
 		st.pushSeq = 0
 	}
+}
+
+// Slope returns a back-end's observed load-index slope in index units
+// per second (see TrendTracker), false while unknown or unprimed. Ring
+// probes prime it from the history window; point probes prime it from
+// consecutive samples.
+func (m *Monitor) Slope(backend int) (float64, bool) {
+	p := m.Probers[backend]
+	if p == nil {
+		return 0, false
+	}
+	return p.Trend.Slope()
 }
 
 // Latest returns the newest record for a back-end.

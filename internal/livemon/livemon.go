@@ -39,6 +39,15 @@ type Config struct {
 	Interval time.Duration // async refresh period (default 50ms)
 	Provider procfs.Provider
 
+	// HistoryK, when positive under an RDMA scheme, publishes a K-slot
+	// history ring instead of the single-record region: a background
+	// sampler pushes a timestamped record every Interval, so one
+	// one-sided read hands the front-end the last K samples (see
+	// wire.HistoryRing). The sync schemes additionally push a fresh
+	// sample as each read is served, preserving their freshness
+	// contract. Clamped to wire.MaxRingSlots; socket schemes ignore it.
+	HistoryK int
+
 	// HostLease additionally makes this agent the lease witness: it
 	// registers the front-end primaryship lease word and record as
 	// writable regions (mutated only by remote one-sided CAS/write) and
@@ -62,7 +71,9 @@ type Agent struct {
 	mu     sync.Mutex
 	mr     *tcpverbs.MR    // mutable: InvalidateMR drops and re-pins it
 	mrSrc  tcpverbs.Source // registration source, kept for re-pinning
+	mrLen  int             // registered region length (record or ring)
 	buf    []byte          // refreshed encoding (async schemes)
+	ring   *wire.HistoryRing
 	seq    uint32
 	closed bool
 
@@ -87,11 +98,26 @@ func StartAgent(cfg Config) (*Agent, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
+	if cfg.HistoryK < 0 {
+		cfg.HistoryK = 0
+	}
+	if cfg.HistoryK > wire.MaxRingSlots {
+		cfg.HistoryK = wire.MaxRingSlots
+	}
+	if !cfg.Scheme.UsesRDMA() {
+		cfg.HistoryK = 0
+	}
 	v, err := tcpverbs.Listen(cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	a := &Agent{cfg: cfg, verbs: v, stop: make(chan struct{})}
+	a.mrLen = wire.RecordSize
+	if cfg.HistoryK > 0 {
+		a.ring = wire.NewHistoryRing(cfg.HistoryK, cfg.NodeID)
+		a.mrLen = a.ring.Size()
+		a.ringPush() // prime: the ring is never empty once registered
+	}
 
 	switch cfg.Scheme {
 	case core.SocketAsync:
@@ -115,21 +141,39 @@ func StartAgent(cfg Config) (*Agent, error) {
 			return nil, err
 		}
 		a.startRefresher()
-		a.mrSrc = a.snapshotBuf
-		a.mr = v.RegisterMR(a.mrSrc, wire.RecordSize)
+		if a.ring != nil {
+			// The refresher pushes into the ring (see refresh); the
+			// region exposes the whole window.
+			a.mrSrc = a.ringWindow
+		} else {
+			a.mrSrc = a.snapshotBuf
+		}
+		a.mr = v.RegisterMR(a.mrSrc, a.mrLen)
 		// Standby socket channel (see core.Failover): answers from the
 		// same refreshed buffer the region exposes, so a probe failed
 		// over to it sees identical staleness semantics.
 		v.HandleCall(portProbe, func([]byte) []byte { return a.snapshotBuf() })
 	case core.RDMASync, core.ERDMASync:
-		a.mrSrc = func() []byte {
-			b, err := a.sampleEncode()
-			if err != nil {
-				return make([]byte, wire.RecordSize)
+		if a.ring != nil {
+			// DMA-instant push: serving a read samples the machine into
+			// the newest slot, so the sync freshness contract survives
+			// the ring; the background sampler fills the window between
+			// reads.
+			a.startRingSampler()
+			a.mrSrc = func() []byte {
+				a.ringPush()
+				return a.ringWindow()
 			}
-			return b
+		} else {
+			a.mrSrc = func() []byte {
+				b, err := a.sampleEncode()
+				if err != nil {
+					return make([]byte, wire.RecordSize)
+				}
+				return b
+			}
 		}
-		a.mr = v.RegisterMR(a.mrSrc, wire.RecordSize)
+		a.mr = v.RegisterMR(a.mrSrc, a.mrLen)
 		// Standby socket channel: samples per request like Socket-Sync,
 		// sharing the sequence counter with the region source so
 		// sequence numbers stay monotonic across transports.
@@ -165,20 +209,30 @@ func StartAgent(cfg Config) (*Agent, error) {
 		a.pusher = p
 	}
 
-	// Control endpoint: scheme + rkey discovery for probes. The region
-	// key is read under the lock: InvalidateMR swaps it concurrently.
+	// Control endpoint: scheme + rkey + ring-geometry discovery for
+	// probes. The region key is read under the lock: InvalidateMR swaps
+	// it concurrently. The reply grew from 5 to 9 bytes when history
+	// rings arrived; probes predating the extension read the first 5 and
+	// treat the region as a single record, which a ring-less agent still
+	// serves, so the extension is backward compatible in both directions
+	// (a new probe reads ringK = 0 from a short reply).
 	v.HandleCall(portInfo, func([]byte) []byte {
-		info := make([]byte, 5)
+		info := make([]byte, 9)
 		info[0] = byte(cfg.Scheme)
 		a.mu.Lock()
 		if a.mr != nil {
 			binary.BigEndian.PutUint32(info[1:], a.mr.Key())
 		}
 		a.mu.Unlock()
+		binary.BigEndian.PutUint32(info[5:], uint32(cfg.HistoryK))
 		return info
 	})
 	return a, nil
 }
+
+// RingK returns the agent's history-ring depth (0 when it publishes a
+// single record).
+func (a *Agent) RingK() int { return a.cfg.HistoryK }
 
 // Addr returns the agent's listen address.
 func (a *Agent) Addr() string { return a.verbs.Addr() }
@@ -229,7 +283,12 @@ func (a *Agent) InvalidateMR(repin time.Duration) {
 		if a.closed || a.mr != nil {
 			return
 		}
-		a.mr = a.verbs.RegisterMR(src, wire.RecordSize)
+		if a.ring != nil {
+			// Same region, new pin: readers must not splice pre- and
+			// post-invalidation windows into one trend.
+			a.ring.BumpEpoch()
+		}
+		a.mr = a.verbs.RegisterMR(src, a.mrLen)
 	})
 }
 
@@ -246,16 +305,67 @@ func (a *Agent) sampleEncode() ([]byte, error) {
 	return s.Record(a.cfg.NodeID, seq).Encode(), nil
 }
 
-// refresh updates the shared buffer (async schemes).
+// refresh updates the shared buffer (async schemes) and, when a ring
+// is published, pushes the same sample into it.
 func (a *Agent) refresh() error {
-	b, err := a.sampleEncode()
+	s, err := a.cfg.Provider.Snapshot()
 	if err != nil {
 		return err
 	}
 	a.mu.Lock()
-	a.buf = b
+	a.seq++
+	rec := s.Record(a.cfg.NodeID, a.seq)
+	a.buf = rec.Encode()
+	if a.ring != nil {
+		a.ring.Push(&rec)
+	}
 	a.mu.Unlock()
 	return nil
+}
+
+// ringPush samples the machine and appends one record to the ring.
+// The ring's seqlock protects remote readers from tearing; local
+// writers (sampler tick vs. read-time push) serialize on a.mu.
+func (a *Agent) ringPush() {
+	s, err := a.cfg.Provider.Snapshot()
+	if err != nil {
+		return // transient sampling errors keep the old window
+	}
+	a.mu.Lock()
+	a.seq++
+	rec := s.Record(a.cfg.NodeID, a.seq)
+	a.ring.Push(&rec)
+	a.mu.Unlock()
+}
+
+// ringWindow returns an atomic copy of the ring region. The seqlock
+// inside the ring protects a real NIC's DMA readers; here the TCP
+// emulation's serve goroutine copies the region from the same address
+// space as the sampler, so local consistency has to come from a.mu
+// like every other shared buffer on this Agent.
+func (a *Agent) ringWindow() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte(nil), a.ring.Bytes()...)
+}
+
+// startRingSampler fills the history window between reads (sync
+// schemes; the async schemes push from their refresher instead).
+func (a *Agent) startRingSampler() {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.ringPush()
+			}
+		}
+	}()
 }
 
 // snapshotBuf returns a copy of the shared buffer.
@@ -294,6 +404,14 @@ type Probe struct {
 	scheme core.Scheme
 	rkey   uint32
 
+	// ringK is the agent's history-ring depth from the info handshake
+	// (0: single-record region). Ring probes read the whole window into
+	// readBuf and decode it in place into view; both are reused across
+	// fetches, so a warm probe loop allocates no payload buffers.
+	ringK   int
+	view    wire.RingView
+	readBuf []byte
+
 	// pool/addr, when set (DialPooled), replace the owned conn: every
 	// fetch leases a shared connection from the pool for the duration
 	// of its locked sequence and returns it after. p.conn then holds
@@ -315,7 +433,18 @@ type Probe struct {
 	Fallbacks uint64
 	// ReArms counts background re-arm probes of the RDMA path.
 	ReArms uint64
+	// TornRetries counts ring reads re-issued because the seqlock
+	// caught a concurrent write mid-window.
+	TornRetries uint64
+	// RingSamples counts history records delivered by ring reads
+	// (Fetch and FetchHistory both contribute).
+	RingSamples uint64
 }
+
+// maxTornRetries bounds how many times a torn ring read is re-issued
+// before the tear is reported; each retry is one cheap one-sided read,
+// and a write-in-flight window is microseconds wide.
+const maxTornRetries = 3
 
 // Dial connects to an agent and discovers its scheme and region key,
 // using the transport's default operation timeout.
@@ -391,7 +520,25 @@ func (p *Probe) handshake() error {
 	}
 	p.scheme = core.Scheme(info[0])
 	p.rkey = binary.BigEndian.Uint32(info[1:])
+	// Ring-geometry extension (newer agents): absent on a 5-byte reply
+	// from an agent predating history rings — a single-record region.
+	p.ringK = 0
+	if len(info) >= 9 {
+		p.ringK = int(binary.BigEndian.Uint32(info[5:]))
+		if p.ringK > wire.MaxRingSlots {
+			return fmt.Errorf("livemon: agent advertises ring depth %d > max %d",
+				p.ringK, wire.MaxRingSlots)
+		}
+	}
 	return nil
+}
+
+// RingK returns the agent's advertised history-ring depth (0 when the
+// region is a single record).
+func (p *Probe) RingK() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ringK
 }
 
 // Scheme returns the remote agent's scheme.
@@ -581,6 +728,23 @@ func (p *Probe) burstRecoverLocked(k int) ([]wire.LoadRecord, error) {
 }
 
 func (p *Probe) burstLocked(k int) ([]wire.LoadRecord, error) {
+	if p.ringK > 0 {
+		// One ring read already carries up to ringK timestamped samples
+		// — the history region subsumes the pipelined burst, one work
+		// request instead of k. Newest first, like the batch variant's
+		// freshest-last ordering never promised anyway.
+		v, err := p.ringReadLocked()
+		if err != nil {
+			return nil, err
+		}
+		n := v.Count
+		if n > k {
+			n = k
+		}
+		recs := make([]wire.LoadRecord, n)
+		copy(recs, v.Records[:n])
+		return recs, nil
+	}
 	reqs := make([]tcpverbs.BatchRead, k)
 	for i := range reqs {
 		reqs[i] = tcpverbs.BatchRead{RKey: p.rkey, Length: wire.RecordSize}
@@ -603,12 +767,90 @@ func (p *Probe) burstLocked(k int) ([]wire.LoadRecord, error) {
 	return recs, nil
 }
 
+// FetchHistory retrieves the agent's full history window in one
+// one-sided read: up to RingK timestamped records, newest first, plus
+// the region epoch (see wire.RingView). Like Fetch it re-handshakes
+// once on failure — a restarted agent hands out a fresh rkey and
+// possibly a different ring depth. Requires an agent publishing a
+// history ring.
+func (p *Probe) FetchHistory() (wire.RingView, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.scheme.UsesRDMA() {
+		return wire.RingView{}, fmt.Errorf("livemon: history fetch requires an RDMA scheme, agent runs %v", p.scheme)
+	}
+	if p.ringK == 0 {
+		return wire.RingView{}, fmt.Errorf("livemon: agent publishes no history ring")
+	}
+	done, lerr := p.leaseLocked()
+	if lerr != nil {
+		return wire.RingView{}, lerr
+	}
+	v, err := p.historyRecoverLocked()
+	done(err)
+	if err != nil {
+		return wire.RingView{}, err
+	}
+	return *v, nil
+}
+
+// historyRecoverLocked is the history read with its one re-handshake
+// retry, run with p.mu held and any leased conn installed.
+func (p *Probe) historyRecoverLocked() (*wire.RingView, error) {
+	v, err := p.ringReadLocked()
+	if err == nil {
+		return v, nil
+	}
+	if herr := p.handshake(); herr != nil {
+		return nil, err
+	}
+	p.Rehandshakes++
+	if p.ringK == 0 {
+		return nil, fmt.Errorf("livemon: restarted agent publishes no history ring")
+	}
+	return p.ringReadLocked()
+}
+
 func (p *Probe) rdmaLocked() (wire.LoadRecord, error) {
-	raw, err := p.conn.RDMARead(p.rkey, wire.RecordSize)
+	if p.ringK > 0 {
+		v, err := p.ringReadLocked()
+		if err != nil {
+			return wire.LoadRecord{}, err
+		}
+		return v.Newest(), nil
+	}
+	raw, err := p.conn.RDMAReadInto(p.rkey, wire.RecordSize, p.readBuf)
 	if err != nil {
 		return wire.LoadRecord{}, err
 	}
+	p.readBuf = raw
 	return wire.Decode(raw)
+}
+
+// ringReadLocked reads the whole history region into the probe's
+// scratch and decodes it in place, re-issuing the read a bounded
+// number of times when the seqlock catches the agent writing.
+func (p *Probe) ringReadLocked() (*wire.RingView, error) {
+	n := wire.RingSize(p.ringK)
+	var lastErr error
+	for attempt := 0; attempt <= maxTornRetries; attempt++ {
+		raw, err := p.conn.RDMAReadInto(p.rkey, n, p.readBuf)
+		if err != nil {
+			return nil, err
+		}
+		p.readBuf = raw
+		if err := wire.DecodeRingInto(&p.view, raw); err != nil {
+			lastErr = err
+			if err == wire.ErrTorn {
+				p.TornRetries++
+				continue
+			}
+			return nil, err
+		}
+		p.RingSamples += uint64(p.view.Count)
+		return &p.view, nil
+	}
+	return nil, lastErr
 }
 
 func (p *Probe) socketLocked() (wire.LoadRecord, error) {

@@ -88,6 +88,31 @@ type WeightedLeastLoad struct {
 	// skipped by Exclude — dispatch decisions shaped by quarantine.
 	ExcludedPicks uint64
 
+	// Slope, if set together with a positive TrendHorizon, turns on
+	// trend-aware dispatch: each back-end's index is projected one
+	// horizon ahead (index + slope×horizon) before comparison, so a
+	// back-end ramping up stops attracting the requests that would
+	// arrive exactly as it saturates, and a draining one starts
+	// absorbing them early. Slope reports index units per second —
+	// (*core.TrendTracker).Slope fed from history-ring reads — and
+	// false when no trend is known (the back-end then projects flat).
+	// nil preserves the level-only policy bit-for-bit.
+	Slope func(backend int) (perSec float64, ok bool)
+	// TrendHorizon is how far ahead the projection looks; a natural
+	// choice is one monitoring sweep. Zero disables the trend term.
+	TrendHorizon sim.Time
+	// TrendClamp bounds the trend term to ±TrendClamp index units
+	// (default DefaultTrendClamp): the slope may bias the choice but
+	// never fabricate unbounded load, so a noisy or adversarial trend
+	// cannot starve a genuinely least-loaded back-end — anything lower
+	// on level by more than 2×TrendClamp than the rest wins regardless
+	// of every slope.
+	TrendClamp float64
+	// TrendPicks counts picks where the trend projection reordered the
+	// deterministic level-only ranking — how often the signal actually
+	// steered traffic.
+	TrendPicks uint64
+
 	// Degraded, if set, reports a back-end currently monitored over its
 	// fallback transport (the monitor's Degraded verdict). Unlike
 	// Exclude it keeps the back-end in the dispatch set — that is the
@@ -112,6 +137,34 @@ type WeightedLeastLoad struct {
 // routed or admitted.
 const DefaultDegradedPenalty = 0.05
 
+// DefaultTrendClamp bounds the trend projection's contribution to a
+// back-end's compared index when no explicit clamp is configured.
+const DefaultTrendClamp = 0.2
+
+// trendTerm computes the clamped slope×horizon projection for b (0
+// when trend dispatch is off or b's trend is unknown).
+func (w *WeightedLeastLoad) trendTerm(b int) float64 {
+	if w.Slope == nil || w.TrendHorizon <= 0 {
+		return 0
+	}
+	s, ok := w.Slope(b)
+	if !ok {
+		return 0
+	}
+	d := s * (float64(w.TrendHorizon) / float64(sim.Second))
+	c := w.TrendClamp
+	if c <= 0 {
+		c = DefaultTrendClamp
+	}
+	if d > c {
+		d = c
+	}
+	if d < -c {
+		d = -c
+	}
+	return d
+}
+
 // degradedPenalty resolves the default handicap.
 func degradedPenalty(p float64) float64 {
 	if p > 0 {
@@ -126,9 +179,14 @@ func (w *WeightedLeastLoad) Name() string { return "weighted-least-load" }
 // Pick implements Policy.
 func (w *WeightedLeastLoad) Pick() int {
 	best := -1
-	bestIdx := 0.0
+	bestProj := 0.0 // projected index the ranking runs on
+	bestIdx := 0.0  // level index: the slope-tie tie-break
 	ties := 0
 	skipped := false
+	// Deterministic first-wins argmins of both rankings, to count how
+	// often the trend term actually reordered the choice.
+	lvlBest, projBest := -1, -1
+	lvlMin, projMin := 0.0, 0.0
 	for _, b := range w.Backends {
 		if w.Exclude != nil && w.Exclude(b) {
 			skipped = true
@@ -148,12 +206,23 @@ func (w *WeightedLeastLoad) Pick() int {
 		if w.Degraded != nil && w.Degraded(b) {
 			idx += degradedPenalty(w.DegradedPenalty)
 		}
+		proj := idx + w.trendTerm(b)
+		if lvlBest < 0 || idx < lvlMin {
+			lvlBest, lvlMin = b, idx
+		}
+		if projBest < 0 || proj < projMin {
+			projBest, projMin = b, proj
+		}
 		switch {
-		case best < 0 || idx < bestIdx:
+		case best < 0 || proj < bestProj || (proj == bestProj && idx < bestIdx):
+			// Rank on the projection; equal projections degrade to the
+			// plain level comparison, so with the trend off (or every
+			// slope equal) the policy is the level-only one.
 			best = b
+			bestProj = proj
 			bestIdx = idx
 			ties = 1
-		case idx == bestIdx:
+		case proj == bestProj && idx == bestIdx:
 			// Reservoir-sample among exact ties so equal-looking
 			// back-ends share load instead of herding onto one.
 			ties++
@@ -164,6 +233,9 @@ func (w *WeightedLeastLoad) Pick() int {
 	}
 	if skipped {
 		w.ExcludedPicks++
+	}
+	if lvlBest != projBest {
+		w.TrendPicks++
 	}
 	if best < 0 {
 		// Everything quarantined: fall back to uniform over all.

@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"testing"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simos"
+)
+
+// The deliver/readback path must not allocate per op at steady state
+// (DESIGN.md §13): reads DMA into the initiator's posted buffer,
+// writes and atomics stage through the fabric's pooled buffers. These
+// tests pin each reuse mechanism so it cannot silently regress.
+
+func TestRDMAReadIntoUsesPostedBuffer(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	region := make([]byte, 64)
+	for i := range region {
+		region[i] = byte(i)
+	}
+	mr := r.nics[1].RegisterMR(StaticSource(region), len(region))
+	buf := make([]byte, 64)
+	var got []byte
+	r.nodes[0].Spawn("rd", func(tk *simos.Task) {
+		r.nics[0].RDMAReadInto(tk, 1, mr.Key(), 64, buf, func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = data
+		})
+	})
+	r.eng.RunUntil(sim.Second)
+	if got == nil {
+		t.Fatal("read never completed")
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("completion data does not alias the posted buffer")
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestRDMAReadBatchIntoUsesScratch(t *testing.T) {
+	r := newRig(t, 3, Defaults())
+	var mrs []*MR
+	for i := 1; i <= 2; i++ {
+		region := make([]byte, 32)
+		region[0] = byte(i)
+		mrs = append(mrs, r.nics[i].RegisterMR(StaticSource(region), 32))
+	}
+	bufs := [][]byte{make([]byte, 32), make([]byte, 32)}
+	scratch := make([]ReadResult, 0, 8)
+	reqs := []ReadReq{
+		{Target: 1, Key: mrs[0].Key(), Length: 32, Buf: bufs[0]},
+		{Target: 2, Key: mrs[1].Key(), Length: 32, Buf: bufs[1]},
+	}
+	var got []ReadResult
+	r.nodes[0].Spawn("batch", func(tk *simos.Task) {
+		r.nics[0].RDMAReadBatchInto(tk, reqs, scratch, func(results []ReadResult) {
+			got = results
+		})
+	})
+	r.eng.RunUntil(sim.Second)
+	if got == nil {
+		t.Fatal("batch never completed")
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("batch results do not alias the caller's scratch")
+	}
+	for i, res := range got {
+		if res.Err != nil {
+			t.Fatalf("slot %d: %v", i, res.Err)
+		}
+		if &res.Data[0] != &bufs[i][0] {
+			t.Fatalf("slot %d data does not alias its posted buffer", i)
+		}
+		if res.Data[0] != byte(i+1) {
+			t.Fatalf("slot %d read %d", i, res.Data[0])
+		}
+	}
+}
+
+// TestPayloadPoolZeroAlloc pins the free list itself: a warm
+// get/put cycle allocates nothing.
+func TestPayloadPoolZeroAlloc(t *testing.T) {
+	f := NewFabric(sim.NewEngine(1), Defaults())
+	f.putBuf(make([]byte, 256)) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		b := f.getBuf(144)
+		f.putBuf(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm getBuf/putBuf allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestWriteStagingBufferRecycled runs sequential one-sided writes and
+// checks every write after the first stages through the same pooled
+// backing array instead of allocating a fresh payload copy.
+func TestWriteStagingBufferRecycled(t *testing.T) {
+	r := newRig(t, 2, Defaults())
+	slot := make([]byte, 64)
+	var staged []*byte
+	mr := r.nics[1].RegisterWritableMR(StaticSource(slot), len(slot), func(b []byte) {
+		staged = append(staged, &b[0])
+		copy(slot, b)
+	})
+	data := []byte{1, 2, 3, 4}
+	const writes = 5
+	r.nodes[0].Spawn("wr", func(tk *simos.Task) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i >= writes {
+				return
+			}
+			r.nics[0].RDMAWrite(tk, 1, mr.Key(), data, func(err error) {
+				if err != nil {
+					t.Errorf("write %d: %v", i, err)
+				}
+				loop(i + 1)
+			})
+		}
+		loop(0)
+	})
+	r.eng.RunUntil(sim.Second)
+	if len(staged) != writes {
+		t.Fatalf("saw %d writes, want %d", len(staged), writes)
+	}
+	for i := 1; i < len(staged); i++ {
+		if staged[i] != staged[0] {
+			t.Fatalf("write %d staged through a fresh buffer — free list not reused", i)
+		}
+	}
+	if slot[0] != 1 || slot[3] != 4 {
+		t.Fatalf("slot contents %v", slot[:4])
+	}
+}

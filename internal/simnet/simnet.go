@@ -191,6 +191,13 @@ type Fabric struct {
 	// (see internal/faults). Install via SetFaults before traffic runs.
 	Faults FaultModel
 
+	// bufs is the fabric-level payload free list: write and atomic
+	// operations borrow a staging buffer at post time and return it
+	// once the responder consumed it, so steady-state one-sided
+	// traffic allocates nothing per op. Safe without locking because
+	// every engine callback runs on the single engine goroutine.
+	bufs [][]byte
+
 	// AblationRDMATargetIRQ, when set, charges a network interrupt on
 	// the target node for every RDMA operation — deliberately breaking
 	// the one-sided property to quantify its contribution (DESIGN.md
@@ -228,6 +235,32 @@ func (f *Fabric) MarkEstablished(port string) { f.established[port] = true }
 // xmit returns the wire time for a payload of size bytes.
 func (f *Fabric) xmit(size int) sim.Time {
 	return f.Cfg.WireLatency + sim.Time(int64(size)*8*int64(sim.Second)/f.Cfg.BandwidthBps)
+}
+
+// maxPooledBufs bounds the payload free list; beyond it buffers are
+// dropped for the GC (a fleet's steady state needs only a handful —
+// one per op concurrently in flight between post and sink).
+const maxPooledBufs = 128
+
+// getBuf borrows an n-byte staging buffer from the free list.
+func (f *Fabric) getBuf(n int) []byte {
+	for i := len(f.bufs) - 1; i >= 0; i-- {
+		if cap(f.bufs[i]) >= n {
+			b := f.bufs[i][:n]
+			last := len(f.bufs) - 1
+			f.bufs[i] = f.bufs[last]
+			f.bufs = f.bufs[:last]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a staging buffer once its contents are dead.
+func (f *Fabric) putBuf(b []byte) {
+	if cap(b) > 0 && len(f.bufs) < maxPooledBufs {
+		f.bufs = append(f.bufs, b[:0])
+	}
 }
 
 // Attach gives node a NIC on this fabric.
@@ -470,7 +503,11 @@ func (n *NIC) RegisterMR(src Source, size int) *MR {
 }
 
 // RegisterWritableMR pins a region that also accepts remote writes,
-// delivered to sink. Reads are served by src as usual.
+// delivered to sink. Reads are served by src as usual. The sink
+// borrows its slice for the duration of the call only — the fabric
+// recycles the staging buffer afterwards — so a sink that keeps the
+// bytes must copy them (every production sink copies into its own
+// region buffer anyway, since that buffer is what reads serve).
 func (n *NIC) RegisterWritableMR(src Source, size int, sink func([]byte)) *MR {
 	mr := n.RegisterMR(src, size)
 	mr.writable = true
@@ -487,7 +524,14 @@ func (n *NIC) Deregister(mr *MR) { delete(n.mrs, mr.key) }
 // service, the DMA instant, and the completion flight back. done runs
 // at the engine instant the completion would land in the initiator's
 // CQ; it is never called synchronously from postRead itself.
-func (n *NIC) postRead(target int, key uint32, length int, done func(data []byte, err error)) {
+//
+// dst, when it has capacity for the read, is the initiator-supplied
+// DMA destination — the data lands in it and no per-op buffer is
+// allocated, exactly as a real HCA scatters the completion into the
+// posted WR's local buffer. A nil (or too small) dst falls back to
+// allocating, preserving the legacy contract for callers that retain
+// the slice.
+func (n *NIC) postRead(target int, key uint32, length int, dst []byte, done func(data []byte, err error)) {
 	f := n.fab
 	n.RDMAReads++
 	var extra sim.Time
@@ -523,12 +567,18 @@ func (n *NIC) postRead(target int, key uint32, length int, done func(data []byte
 				f.Eng.After(f.xmit(0), func() { done(nil, ErrLength) })
 				return
 			}
-			// The DMA instant: capture the region bytes now.
+			// The DMA instant: capture the region bytes now, into the
+			// initiator's buffer when one was posted.
 			src := mr.source()
 			if length < len(src) {
 				src = src[:length]
 			}
-			data := make([]byte, len(src))
+			var data []byte
+			if cap(dst) >= len(src) {
+				data = dst[:len(src)]
+			} else {
+				data = make([]byte, len(src))
+			}
 			copy(data, src)
 			if f.AblationRDMATargetIRQ {
 				tn.node.RaiseNetIRQ(nil)
@@ -543,13 +593,21 @@ func (n *NIC) postRead(target int, key uint32, length int, done func(data []byte
 // arrives; then runs with the data read at the remote DMA instant.
 // The target host CPU is never involved.
 func (n *NIC) RDMARead(t *simos.Task, target int, key uint32, length int, then func(data []byte, err error)) {
+	n.RDMAReadInto(t, target, key, length, nil, then)
+}
+
+// RDMAReadInto is RDMARead with an initiator-supplied destination
+// buffer: when cap(buf) >= length the completion data aliases buf and
+// the read allocates nothing. The caller owns buf and must not repost
+// it until then has run.
+func (n *NIC) RDMAReadInto(t *simos.Task, target int, key uint32, length int, buf []byte, then func(data []byte, err error)) {
 	f := n.fab
 	t.Compute(f.Cfg.RDMAPostCost, func() {
 		t.Await(func(v any) {
 			c := v.(rdmaCompletion)
 			then(c.data, c.err)
 		})
-		n.postRead(target, key, length, func(data []byte, err error) {
+		n.postRead(target, key, length, buf, func(data []byte, err error) {
 			t.Resume(rdmaCompletion{data: data, err: err})
 		})
 	})
@@ -560,6 +618,12 @@ type ReadReq struct {
 	Target int
 	Key    uint32
 	Length int
+	// Buf, when it has capacity for Length, is the initiator-supplied
+	// DMA destination for this WR: the completion's Data aliases it
+	// and the read allocates nothing (the reusable per-shard scratch
+	// path). The caller must not repost or mutate it until the batch
+	// completion has been consumed.
+	Buf []byte
 }
 
 // ReadResult is the completion of one work request in a batch.
@@ -577,6 +641,15 @@ type ReadResult struct {
 // results[i] answers reqs[i]; per-request failures (bad key, dead
 // target) land in that slot's Err without disturbing its neighbours.
 func (n *NIC) RDMAReadBatch(t *simos.Task, reqs []ReadReq, then func(results []ReadResult)) {
+	n.RDMAReadBatchInto(t, reqs, nil, then)
+}
+
+// RDMAReadBatchInto is RDMAReadBatch completing into a caller-owned
+// results scratch: when cap(scratch) >= len(reqs) the completion slice
+// aliases it and the batch allocates no result storage (pair it with
+// per-WR ReadReq.Buf destinations for a fully allocation-free sweep).
+// The caller must not repost the scratch until then has consumed it.
+func (n *NIC) RDMAReadBatchInto(t *simos.Task, reqs []ReadReq, scratch []ReadResult, then func(results []ReadResult)) {
 	f := n.fab
 	if len(reqs) == 0 {
 		t.Compute(0, func() { then(nil) })
@@ -586,11 +659,19 @@ func (n *NIC) RDMAReadBatch(t *simos.Task, reqs []ReadReq, then func(results []R
 	t.Compute(cost, func() {
 		t.Await(func(v any) { then(v.([]ReadResult)) })
 		n.DoorbellBatches++
-		results := make([]ReadResult, len(reqs))
+		var results []ReadResult
+		if cap(scratch) >= len(reqs) {
+			results = scratch[:len(reqs)]
+			for i := range results {
+				results[i] = ReadResult{}
+			}
+		} else {
+			results = make([]ReadResult, len(reqs))
+		}
 		remaining := len(reqs)
 		for i, rq := range reqs {
 			i, rq := i, rq
-			n.postRead(rq.Target, rq.Key, rq.Length, func(data []byte, err error) {
+			n.postRead(rq.Target, rq.Key, rq.Length, rq.Buf, func(data []byte, err error) {
 				results[i] = ReadResult{Data: data, Err: err}
 				if remaining--; remaining == 0 {
 					t.Resume(results)
@@ -605,7 +686,10 @@ func (n *NIC) RDMAReadBatch(t *simos.Task, reqs []ReadReq, then func(results []R
 // paper's protection for exposed kernel structures).
 func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then func(err error)) {
 	f := n.fab
-	payload := make([]byte, len(data))
+	// Stage the payload in a pooled fabric buffer: captured at post
+	// time (the WR's local buffer is owned by the HCA from here) and
+	// recycled once the responder has consumed it.
+	payload := f.getBuf(len(data))
 	copy(payload, data)
 	t.Compute(f.Cfg.RDMAPostCost, func() {
 		t.Await(func(v any) {
@@ -617,6 +701,7 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 			v := f.Faults.RDMA(n.node.ID, target)
 			if v.Fail {
 				f.countErr(n)
+				f.putBuf(payload)
 				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
 				return
 			}
@@ -625,11 +710,13 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 		f.Eng.After(f.xmit(16+len(payload))+extra, func() {
 			tn := f.nics[target]
 			if tn == nil {
+				f.putBuf(payload)
 				n.complete(t, rdmaCompletion{err: ErrNoRoute})
 				return
 			}
 			if tn.node.Down() {
 				f.countErr(n)
+				f.putBuf(payload)
 				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
 				return
 			}
@@ -649,6 +736,7 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 					}
 					mr.sink(payload)
 				}
+				f.putBuf(payload)
 				if err != nil {
 					tn.fab.countErr(n)
 				}
@@ -713,14 +801,18 @@ func (n *NIC) RDMACompareSwap(t *simos.Task, target int, key uint32, compare, sw
 				// The atomic instant: read, compare and (maybe) write
 				// back within one NIC service slot. The engine is the
 				// serialization point, exactly as responder-side atomic
-				// units serialize concurrent atomics in hardware.
-				cur := make([]byte, len(mr.source()))
-				copy(cur, mr.source())
+				// units serialize concurrent atomics in hardware. The
+				// scratch copy is pooled: it exists only so the sink
+				// observes a fully-formed post-swap image.
+				src := mr.source()
+				cur := f.getBuf(len(src))
+				copy(cur, src)
 				prev := binary.LittleEndian.Uint64(cur[:8])
 				if prev == compare {
 					binary.LittleEndian.PutUint64(cur[:8], swap)
 					mr.sink(cur)
 				}
+				f.putBuf(cur)
 				if f.AblationRDMATargetIRQ {
 					tn.node.RaiseNetIRQ(nil)
 				}

@@ -501,6 +501,15 @@ type Conn struct {
 	closed  bool
 	pipeSeq uint32
 
+	// Per-connection scratch (guarded by mu, like every operation):
+	// request-frame staging, the batch post buffer and its seq list,
+	// and the reply-frame read buffer. A steady-state probe loop on one
+	// connection reuses all of them instead of allocating per op.
+	frame   []byte
+	postBuf []byte
+	seqs    []uint32
+	rbuf    []byte
+
 	// Retry is the redial/replay policy; the zero value takes the
 	// documented defaults. Set it before issuing operations.
 	Retry RetryPolicy
@@ -664,6 +673,47 @@ func (c *Conn) RDMARead(rkey uint32, length int) ([]byte, error) {
 	return data, statusErr(status)
 }
 
+// RDMAReadInto is RDMARead with caller-owned payload storage: the
+// reply lands in buf (grown only when too small) and the request frame
+// and reply frame stage through per-connection scratch, so a steady
+// probe loop allocates nothing per read once warm.
+func (c *Conn) RDMAReadInto(rkey uint32, length int, buf []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cap(c.frame) < 9 {
+		c.frame = make([]byte, 9)
+	}
+	frame := c.frame[:9]
+	frame[0] = opRead
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	binary.BigEndian.PutUint32(frame[5:], uint32(length))
+	var status byte
+	out := buf
+	err := c.retrying(func() error {
+		c.c.SetDeadline(time.Now().Add(c.opTmo))
+		if err := writeFrame(c.c, frame); err != nil {
+			return err
+		}
+		body, err := readFrameInto(c.c, c.rbuf)
+		if err != nil {
+			return err
+		}
+		if cap(body) > cap(c.rbuf) {
+			c.rbuf = body
+		}
+		if len(body) < 1 {
+			return ErrClosed
+		}
+		status = body[0]
+		out = append(buf[:0], body[1:]...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, statusErr(status)
+}
+
 // BatchRead describes one read in a pipelined batch.
 type BatchRead struct {
 	RKey   uint32
@@ -692,28 +742,42 @@ type BatchResult struct {
 // sequence numbers are drawn per attempt, so a stale reply from an
 // aborted attempt can never satisfy a later one.
 func (c *Conn) RDMAReadBatch(reqs []BatchRead) ([]BatchResult, error) {
+	return c.RDMAReadBatchInto(reqs, nil)
+}
+
+// RDMAReadBatchInto is RDMAReadBatch with caller-owned result storage:
+// when results has the capacity it is recycled, each slot's Data
+// buffer included, and the post buffer, seq list and reply frames all
+// stage through per-connection scratch. Pass the returned slice back
+// on the next call and a steady-state sweep posts batches with no
+// per-batch payload allocation.
+func (c *Conn) RDMAReadBatchInto(reqs []BatchRead, results []BatchResult) ([]BatchResult, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var results []BatchResult
+	out := results
 	err := c.retrying(func() error {
 		var e error
-		results, e = c.attemptBatch(reqs)
+		out, e = c.attemptBatch(reqs, results)
 		return e
 	})
 	if err != nil {
 		return nil, err
 	}
-	return results, nil
+	return out, nil
 }
 
 // attemptBatch performs one pipelined write-all-then-read-all pass
-// under the operation deadline. Caller holds c.mu.
-func (c *Conn) attemptBatch(reqs []BatchRead) ([]BatchResult, error) {
-	seqs := make([]uint32, len(reqs))
-	var buf []byte
+// under the operation deadline, staging the post buffer and seq list
+// in connection scratch. Caller holds c.mu.
+func (c *Conn) attemptBatch(reqs []BatchRead, into []BatchResult) ([]BatchResult, error) {
+	if cap(c.seqs) < len(reqs) {
+		c.seqs = make([]uint32, len(reqs))
+	}
+	seqs := c.seqs[:len(reqs)]
+	buf := c.postBuf[:0]
 	for i, rq := range reqs {
 		c.pipeSeq++
 		seqs[i] = c.pipeSeq
@@ -725,11 +789,14 @@ func (c *Conn) attemptBatch(reqs []BatchRead) ([]BatchResult, error) {
 		binary.BigEndian.PutUint32(frame[13:], uint32(rq.Length))
 		buf = append(buf, frame[:]...)
 	}
+	c.postBuf = buf
 	c.c.SetDeadline(time.Now().Add(c.opTmo))
 	if _, err := c.c.Write(buf); err != nil {
 		return nil, err
 	}
-	return collectBatchReplies(c.c, seqs)
+	results, rbuf, err := collectBatchRepliesInto(c.c, seqs, into, c.rbuf)
+	c.rbuf = rbuf
+	return results, err
 }
 
 // collectBatchReplies reads len(seqs) reply frames from r and
@@ -740,46 +807,65 @@ func (c *Conn) attemptBatch(reqs []BatchRead) ([]BatchResult, error) {
 // mis-attribute one request's bytes to another. Factored out so the
 // fuzzer can drive it with arbitrary byte streams.
 func collectBatchReplies(r io.Reader, seqs []uint32) ([]BatchResult, error) {
+	results, _, err := collectBatchRepliesInto(r, seqs, nil, nil)
+	return results, err
+}
+
+// collectBatchRepliesInto is the storage-reusing core of
+// collectBatchReplies: results is recycled when its capacity suffices
+// (each slot's Data buffer included) and reply frames stage through
+// rbuf, which is returned — possibly grown — for the caller to keep.
+// The seq table and completion set are small per-batch bookkeeping and
+// still allocate; the payload path does not.
+func collectBatchRepliesInto(r io.Reader, seqs []uint32, into []BatchResult, rbuf []byte) ([]BatchResult, []byte, error) {
 	slot := make(map[uint32]int, len(seqs))
 	for i, s := range seqs {
 		if _, dup := slot[s]; dup {
-			return nil, fmt.Errorf("tcpverbs: duplicate seq %d posted in batch", s)
+			return nil, rbuf, fmt.Errorf("tcpverbs: duplicate seq %d posted in batch", s)
 		}
 		slot[s] = i
 	}
-	results := make([]BatchResult, len(seqs))
+	var results []BatchResult
+	if cap(into) >= len(seqs) {
+		results = into[:len(seqs)]
+	} else {
+		results = make([]BatchResult, len(seqs))
+	}
 	filled := make([]bool, len(seqs))
 	for n := 0; n < len(seqs); n++ {
-		body, err := readFrame(r)
+		body, err := readFrameInto(r, rbuf)
 		if err != nil {
-			return nil, err
+			return nil, rbuf, err
+		}
+		if cap(body) > cap(rbuf) {
+			rbuf = body
 		}
 		if len(body) < 5 {
-			return nil, fmt.Errorf("tcpverbs: pipelined reply too short to carry a seq")
+			return nil, rbuf, fmt.Errorf("tcpverbs: pipelined reply too short to carry a seq")
 		}
 		status := body[0]
 		if status > statusNoHandler {
 			// Statuses come only from our own agent; an unknown byte
 			// here means the stream is corrupt, not that one read
 			// failed.
-			return nil, fmt.Errorf("tcpverbs: unknown status %d in pipelined reply", status)
+			return nil, rbuf, fmt.Errorf("tcpverbs: unknown status %d in pipelined reply", status)
 		}
 		seq := binary.BigEndian.Uint32(body[1:5])
 		i, ok := slot[seq]
 		if !ok {
-			return nil, fmt.Errorf("tcpverbs: completion for unknown seq %d", seq)
+			return nil, rbuf, fmt.Errorf("tcpverbs: completion for unknown seq %d", seq)
 		}
 		if filled[i] {
-			return nil, fmt.Errorf("tcpverbs: duplicate completion for seq %d", seq)
+			return nil, rbuf, fmt.Errorf("tcpverbs: duplicate completion for seq %d", seq)
 		}
 		filled[i] = true
 		if err := statusErr(status); err != nil {
-			results[i] = BatchResult{Err: err}
+			results[i] = BatchResult{Data: results[i].Data[:0], Err: err}
 			continue
 		}
-		results[i] = BatchResult{Data: append([]byte(nil), body[5:]...)}
+		results[i] = BatchResult{Data: append(results[i].Data[:0], body[5:]...)}
 	}
-	return results, nil
+	return results, rbuf, nil
 }
 
 // RDMAWrite stores data into the remote region (if writable).
@@ -863,30 +949,58 @@ func writeReply(w io.Writer, status byte, body []byte) error {
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is readFrame against caller-owned scratch: the body is
+// staged in scratch while its capacity lasts and chunked growth only
+// kicks in past it, so a warm reply loop reads frames without
+// allocating.
+func readFrameInto(r io.Reader, scratch []byte) ([]byte, error) {
+	// Stage the length header in the scratch itself when there is room:
+	// a local header array escapes through the io.Reader interface and
+	// costs one allocation per frame, so it lives only in the cold
+	// branch where no scratch exists yet.
+	var n int
+	if cap(scratch) >= 4 {
+		hdr := scratch[:4]
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil, err
+		}
+		n = int(binary.BigEndian.Uint32(hdr))
+	} else {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n = int(binary.BigEndian.Uint32(hdr[:]))
 	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("tcpverbs: frame too large (%d)", n)
 	}
 	// Grow in bounded chunks as bytes actually arrive: a hostile or
 	// corrupted length field costs memory only as fast as the peer
 	// delivers payload, and truncation fails at the current chunk.
-	cap0 := n
-	if cap0 > readChunk {
-		cap0 = readChunk
+	body := scratch[:0]
+	if cap(body) == 0 && n > 0 {
+		cap0 := n
+		if cap0 > readChunk {
+			cap0 = readChunk
+		}
+		body = make([]byte, 0, cap0)
 	}
-	body := make([]byte, 0, cap0)
 	for len(body) < n {
 		chunk := n - len(body)
 		if chunk > readChunk {
 			chunk = readChunk
 		}
 		off := len(body)
-		body = append(body, make([]byte, chunk)...)
-		if _, err := io.ReadFull(r, body[off:]); err != nil {
+		if cap(body)-off >= chunk {
+			body = body[:off+chunk]
+		} else {
+			body = append(body, make([]byte, chunk)...)
+		}
+		if _, err := io.ReadFull(r, body[off:off+chunk]); err != nil {
 			return nil, err
 		}
 	}

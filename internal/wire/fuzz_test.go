@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -145,6 +146,100 @@ func FuzzPushRecord(f *testing.F) {
 		}
 		if re2 != rec {
 			t.Fatalf("re-decode mismatch: %+v != %+v", re2, rec)
+		}
+	})
+}
+
+// FuzzHistoryRing feeds arbitrary bytes to DecodeRingInto and, for any
+// accepted ring, runs the seqlock differential: a mid-write snapshot
+// (odd seq, or header/trailer mismatch) must decode as ErrTorn — the
+// retry signal — while the completed write must decode cleanly with
+// the new sample at the head. Decode must never panic and never
+// accept a ring whose header CRC or slot CRCs do not match.
+func FuzzHistoryRing(f *testing.F) {
+	h := NewHistoryRing(4, 7)
+	for i := uint32(1); i <= 6; i++ {
+		rec := ringSample(i)
+		h.Push(&rec)
+	}
+	enc := append([]byte(nil), h.Bytes()...)
+	f.Add(enc)
+	f.Add(enc[:len(enc)-1])
+	f.Add(enc[:HistHeaderSize])
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	tornSlot := append([]byte(nil), enc...)
+	tornSlot[HistHeaderSize+RecordSize/2] ^= 0x55
+	f.Add(tornSlot)
+	midWrite := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint64(midWrite[16:], 13) // odd seq
+	f.Add(midWrite)
+	f.Add(NewHistoryRing(1, 0).Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, RingSize(2)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v RingView
+		if err := DecodeRingInto(&v, data); err != nil {
+			switch err {
+			case ErrShort, ErrMagic, ErrVersion, ErrChecksum, ErrReserved,
+				ErrTorn, ErrRingK, ErrRingHead:
+			default:
+				t.Fatalf("undocumented ring decode error: %v", err)
+			}
+			if v.Count != 0 {
+				t.Fatalf("failed decode left %d records in the view", v.Count)
+			}
+			return
+		}
+		if v.Count > v.K || v.K < 1 || v.K > MaxRingSlots {
+			t.Fatalf("inconsistent view: count=%d k=%d", v.Count, v.K)
+		}
+		var v2 RingView
+		if err := DecodeRingInto(&v2, data); err != nil || v2 != v {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+
+		// Differential, phase 1 — tear the accepted ring the way a
+		// racing writer would (seq bumped odd before touching a slot):
+		// the reader must see ErrTorn, its retry signal.
+		le := binary.LittleEndian
+		k := v.K
+		tr := HistHeaderSize + k*RecordSize
+		buf := append([]byte(nil), data[:RingSize(k)]...)
+		seq := le.Uint64(buf[16:])
+		le.PutUint64(buf[16:], seq+1)
+		le.PutUint32(buf[tr+8:], crc32.ChecksumIEEE(buf[:HistHeaderSize]))
+		if err := DecodeRingInto(&v2, buf); err != ErrTorn {
+			t.Fatalf("mid-write ring decoded as %v, want ErrTorn", err)
+		}
+
+		// Phase 2 — complete the write: new sample in the next slot,
+		// head advanced, seq even again, echo + CRC restored. The
+		// retried read must now succeed and surface the new sample.
+		rec := ringSample(uint32(len(data)))
+		rec.NodeID = v.NodeID
+		slot := int(v.Pushes % uint64(k))
+		off := HistHeaderSize + slot*RecordSize
+		rec.AppendTo(buf[off : off : off+RecordSize])
+		le.PutUint32(buf[12:], uint32(slot))
+		le.PutUint64(buf[16:], seq+2)
+		le.PutUint64(buf[24:], v.Pushes+1)
+		le.PutUint64(buf[tr:], seq+2)
+		le.PutUint32(buf[tr+8:], crc32.ChecksumIEEE(buf[:HistHeaderSize]))
+		if err := DecodeRingInto(&v2, buf); err != nil {
+			t.Fatalf("completed write failed to decode: %v", err)
+		}
+		if v2.Newest() != rec {
+			t.Fatalf("retry after write lost the new sample")
+		}
+		wantCount := v.Count + 1
+		if wantCount > k {
+			wantCount = k
+		}
+		if v2.Count != wantCount {
+			t.Fatalf("count after write = %d, want %d", v2.Count, wantCount)
 		}
 	})
 }

@@ -145,23 +145,32 @@ func (r LoadRecord) Encode() []byte { return r.AppendTo(nil) }
 // Decode parses and validates a record from b.
 func Decode(b []byte) (LoadRecord, error) {
 	var r LoadRecord
+	err := DecodeInto(&r, b)
+	return r, err
+}
+
+// DecodeInto parses and validates a record from b into *r without
+// allocating: the probe hot path decodes thousands of records per
+// sweep into caller-owned scratch. On error *r is left zeroed.
+func DecodeInto(r *LoadRecord, b []byte) error {
+	*r = LoadRecord{}
 	if len(b) < RecordSize {
-		return r, ErrShort
+		return ErrShort
 	}
 	le := binary.LittleEndian
 	if le.Uint32(b[0:]) != Magic {
-		return r, ErrMagic
+		return ErrMagic
 	}
 	if b[4] != Version {
-		return r, ErrVersion
+		return ErrVersion
 	}
 	if le.Uint32(b[116:]) != crc32.ChecksumIEEE(b[:116]) {
-		return r, ErrChecksum
+		return ErrChecksum
 	}
 	if le.Uint16(b[114:]) != 0 {
 		// Reserved padding must be zero: keeps decode(encode(r))
 		// exactly invertible and the reserved space usable later.
-		return r, ErrReserved
+		return ErrReserved
 	}
 	r.NumCPU = b[5]
 	r.NodeID = le.Uint16(b[6:])
@@ -181,5 +190,5 @@ func Decode(b []byte) (LoadRecord, error) {
 	r.NetTxBytes = le.Uint64(b[96:])
 	r.CtxSwitch = le.Uint64(b[104:])
 	r.Conns = le.Uint16(b[112:])
-	return r, nil
+	return nil
 }
