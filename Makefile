@@ -6,9 +6,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke hybrid-smoke churn-smoke bench bench-baseline bench-check clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke bench bench-baseline bench-check clean
 
-ci: vet build race bench-check fuzz chaos-smoke ha-smoke hybrid-smoke churn-smoke
+ci: vet build race bench-check fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLeaseRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPushRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzHistoryRing$$ -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzClaimRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Randomized failover chaos: three seeded fault plans, invariants
 # asserted, non-zero exit on any violation.
@@ -50,6 +51,13 @@ chaos-smoke:
 # non-zero exit on any violation.
 ha-smoke:
 	$(GO) run ./cmd/rmbench -exp ha -quick -seeds 3
+
+# Active-active dispatch under a claim-stall fault plan: zero
+# double-dispatch, bounded orphan reclamation, >= 2x single-primary
+# throughput and per-front-end fairness asserted, non-zero exit on
+# any violation.
+aa-smoke:
+	$(GO) run ./cmd/rmbench -exp aa -quick -seeds 1
 
 # Hybrid push/pull contract: >= 10x fewer probe WRs than all-pull at
 # the same effective-staleness bound, non-zero exit on any violation.

@@ -31,7 +31,7 @@ func run() int {
 		list    = flag.Bool("list", false, "list experiment ids")
 		quick   = flag.Bool("quick", false, "short runs (noisier tails)")
 		seed    = flag.Int64("seed", 0, "simulation seed (0 = default)")
-		seeds   = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha (0 = default of 5)")
+		seeds   = flag.Int("seeds", 0, "random fault plans for -exp chaos/ha/aa (0 = default of 5)")
 		seq     = flag.Bool("seq", false, "run sweep points sequentially")
 		nback   = flag.Int("backends", 0, "pin -exp scale to one back-end count (0 = sweep)")
 		shards  = flag.Int("shards", 0, "pin -exp scale to one shard count (0 = sweep)")
@@ -39,6 +39,9 @@ func run() int {
 		pushTh  = flag.Float64("push-threshold", 0, "-exp hybrid: load-index delta that triggers a push (0 = default 0.05)")
 		perMin  = flag.Int("period-min", 0, "-exp hybrid: fastest adaptive probe period, in probe periods T (0 = default 1)")
 		perMax  = flag.Int("period-max", 0, "-exp hybrid: slowest adaptive probe period, in probe periods T (0 = default 64)")
+		fronts  = flag.Int("frontends", 0, "-exp aa: active-active front-end replica count (0 = default 4)")
+		claimT  = flag.Int("claim-ttl", 0, "-exp aa: claim TTL in ms (0 = derived from the poll interval)")
+		claimS  = flag.Int("claim-shards", 0, "-exp aa: claim-table size (0 = one shard per back-end)")
 		conns   = flag.Int("max-conns", 0, "-exp scale: pooled scale-out connection budget (0 = fleet/8)")
 		dials   = flag.Int("dials-per-sec", 0, "-exp scale: pooled scale-out dial-rate budget (0 = fleet size)")
 		poolGC  = flag.Int("pool-idle-ms", 0, "-exp scale: pooled scale-out idle-conn GC age in ms (0 = default 500)")
@@ -75,6 +78,7 @@ func run() int {
 		Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds,
 		Backends: *nback, Shards: *shards, Batch: *batch,
 		PushThreshold: *pushTh, PeriodMin: *perMin, PeriodMax: *perMax,
+		FrontEnds: *fronts, ClaimShards: *claimS, ClaimTTLMS: *claimT,
 		MaxConns: *conns, DialsPerSec: *dials, PoolIdleMS: *poolGC,
 	}
 	failed := false

@@ -141,6 +141,19 @@ type Config struct {
 	// Lease tunes leased primaryship (defaults derived from Poll; only
 	// meaningful with Replicas > 1).
 	Lease core.LeaseConfig
+
+	// ActiveActive replaces the single lease with per-shard claim
+	// arbitration (Replicas > 1): the back-end space folds onto
+	// Claim.Shards claim words on the witness and EVERY replica
+	// dispatches concurrently, each only to back-ends whose shard claim
+	// it validly holds (see core.Claim). The claim table is the fence —
+	// a replica with no claims answers NotPrimary exactly like a
+	// deposed lease holder.
+	ActiveActive bool
+
+	// Claim tunes claim arbitration (defaults derived from Poll;
+	// Shards defaults to Backends; only meaningful with ActiveActive).
+	Claim core.ClaimConfig
 }
 
 // Replica is one front-end instance: its own monitor (warm load view),
@@ -154,6 +167,7 @@ type Replica struct {
 	Policy     loadbalance.Policy
 	Dispatcher *httpsim.Dispatcher
 	LeaseMgr   *core.LeaseManager
+	ClaimMgr   *core.ClaimManager
 
 	down bool
 }
@@ -189,11 +203,13 @@ type Cluster struct {
 	Pushers []*core.DeltaPusher
 
 	// Replicated front-end (Cfg.Replicas > 1). FrontEnds[0] aliases
-	// Front/Monitor/Policy/Dispatcher; Witness hosts the lease vault.
+	// Front/Monitor/Policy/Dispatcher; Witness hosts the lease vault —
+	// or, under ActiveActive, the claim vault.
 	FrontEnds  []*Replica
 	Witness    *simos.Node
 	WitnessNIC *simnet.NIC
 	Vault      *core.LeaseVault
+	ClaimVault *core.ClaimVault
 
 	// OnReplicaRestart, if set, runs after a crashed front-end replica
 	// is rebooted with fresh monitor/dispatcher/lease instances, so
@@ -229,6 +245,14 @@ func New(cfg Config) *Cluster {
 		// share the same resolved thresholds and periods.
 		h := cfg.Hybrid.WithDefaults(cfg.Poll)
 		cfg.Hybrid = &h
+	}
+	if cfg.ActiveActive {
+		// One claim shard per back-end unless told otherwise, resolved
+		// once so vault, managers and fences agree on the table size.
+		if cfg.Claim.Shards <= 0 {
+			cfg.Claim.Shards = cfg.Backends
+		}
+		cfg.Claim = cfg.Claim.WithDefaults(cfg.Poll)
 	}
 	c := &Cluster{Cfg: cfg, extCursor: simnet.ExternalBase}
 	c.Eng = sim.NewEngine(cfg.Seed)
@@ -319,7 +343,11 @@ func (c *Cluster) buildHA() {
 	wid := c.Cfg.Backends + c.Cfg.Replicas
 	c.Witness = simos.NewNode(c.Eng, wid, c.Cfg.Node)
 	c.WitnessNIC = c.Fab.Attach(c.Witness)
-	c.Vault = core.NewLeaseVault(c.WitnessNIC)
+	if c.Cfg.ActiveActive {
+		c.ClaimVault = core.NewClaimVault(c.WitnessNIC, c.Cfg.Claim.Shards)
+	} else {
+		c.Vault = core.NewLeaseVault(c.WitnessNIC)
+	}
 
 	r0 := &Replica{Index: 0, Node: c.Front, NIC: c.FNIC,
 		Monitor: c.Monitor, Policy: c.Policy, Dispatcher: c.Dispatcher}
@@ -331,6 +359,16 @@ func (c *Cluster) buildHA() {
 		c.FrontEnds = append(c.FrontEnds, r)
 	}
 	for _, r := range c.FrontEnds {
+		c.armArbitration(r)
+	}
+}
+
+// armArbitration fences a replica's dispatcher by whichever protocol
+// the cluster runs: one lease, or the active-active claim table.
+func (c *Cluster) armArbitration(r *Replica) {
+	if c.Cfg.ActiveActive {
+		c.armClaims(r)
+	} else {
 		c.armLease(r)
 	}
 }
@@ -383,12 +421,45 @@ func (c *Cluster) armLease(r *Replica) {
 	}
 }
 
+// ShardOf maps a back-end node ID onto its claim shard.
+func (c *Cluster) ShardOf(backend int) int {
+	return (backend - 1) % c.Cfg.Claim.Shards
+}
+
+// armClaims starts a replica's claim manager and fences its policy
+// and dispatcher on per-shard claim validity: the policy's Claimed
+// filter steers picks onto held shards, the dispatcher's BackendFence
+// is the hard guarantee no request leaves for an unclaimed one.
+func (c *Cluster) armClaims(r *Replica) {
+	r.ClaimMgr = core.StartClaimManager(r.Node, r.NIC, c.Witness.ID,
+		c.ClaimVault.WordKeys(), c.ClaimVault.RecKeys(),
+		uint16(r.Index+1), c.Cfg.Replicas, c.Cfg.Claim)
+	mgr := r.ClaimMgr
+	eng := c.Eng
+	claimed := func(b int) bool { return mgr.Valid(c.ShardOf(b), eng.Now()) }
+	if r.Dispatcher != nil {
+		r.Dispatcher.BackendFence = claimed
+	}
+	switch p := r.Policy.(type) {
+	case *loadbalance.WeightedLeastLoad:
+		p.Claimed = claimed
+	case *loadbalance.WeightedProportional:
+		p.Claimed = claimed
+	}
+	if r.Monitor != nil {
+		// The adaptive poll controller keeps the fast sweep on any
+		// replica holding claims — it is dispatching and needs a warm
+		// load view; a replica holding nothing may decay like a standby.
+		r.Monitor.LeaseValid = func() bool { return mgr.HeldValid(eng.Now()) > 0 }
+	}
+}
+
 // restartReplica reboots a crashed front-end replica: fresh monitor
 // (it re-warms its load view probe by probe), fresh fenced dispatcher,
-// fresh lease manager starting as follower.
+// fresh lease/claim manager starting with nothing held.
 func (c *Cluster) restartReplica(r *Replica) {
 	c.startReplica(r)
-	c.armLease(r)
+	c.armArbitration(r)
 	r.down = false
 	if r.Index == 0 {
 		c.Monitor, c.Policy, c.Dispatcher = r.Monitor, r.Policy, r.Dispatcher
@@ -597,6 +668,13 @@ func (c *Cluster) poolConfig(clients int, think sim.Time, gen workload.Generator
 func (c *Cluster) StartRUBiS(clients int, think sim.Time, seed int64) *workload.ClientPool {
 	mix := workload.NewMix(workload.RUBiSMix())
 	return workload.StartClients(c.Fab, c.poolConfig(clients, think, workload.MixGenerator(mix), seed))
+}
+
+// StartPool attaches a closed-loop client population driving a custom
+// request generator (the active-active experiment uses a light,
+// dispatch-bound request class no canned mix provides).
+func (c *Cluster) StartPool(clients int, think sim.Time, gen workload.Generator, seed int64) *workload.ClientPool {
+	return workload.StartClients(c.Fab, c.poolConfig(clients, think, gen, seed))
 }
 
 // StartZipf attaches a closed-loop Zipf-trace client population.

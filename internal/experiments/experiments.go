@@ -46,6 +46,15 @@ type Options struct {
 	PeriodMin     int
 	PeriodMax     int
 
+	// FrontEnds is the active-active experiment's replica count
+	// (default 4, minimum 2); ClaimShards and ClaimTTLMS override its
+	// claim-table size and claim TTL (zero = the cluster defaults:
+	// one shard per back-end, TTL derived from the poll interval).
+	// Other experiments ignore all three.
+	FrontEnds   int
+	ClaimShards int
+	ClaimTTLMS  int
+
 	// MaxConns, DialsPerSec and PoolIdleMS size the pooled scale-out
 	// run's connection budget, dial-rate budget and idle-conn GC age.
 	// Setting any of them (or Backends >= 1024) switches -exp scale

@@ -13,7 +13,7 @@ import (
 func quickOpts() Options { return Options{Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"admit", "chaos", "faults", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "ha", "history", "hybrid", "push", "reconfig", "scale", "table1"}
+	want := []string{"aa", "admit", "chaos", "faults", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "ha", "history", "hybrid", "push", "reconfig", "scale", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v, want %v", got, want)

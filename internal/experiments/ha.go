@@ -159,7 +159,7 @@ type haChecker struct {
 	plan  faults.Plan
 	lease core.LeaseConfig
 
-	intervals []*haEpoch      // all validity intervals, in acquire order
+	intervals []*haEpoch       // all validity intervals, in acquire order
 	open      map[int]*haEpoch // replica index -> currently open interval
 	lastEpoch uint16
 

@@ -48,6 +48,18 @@ type ChaosConfig struct {
 	FECrashes    int
 	FEFreezes    int
 	FEPartitions int
+
+	// ClaimStalls counts claim-stall windows for active-active
+	// clusters: alternating front-end freezes long enough to orphan
+	// held claims (the survivors must reclaim, the thawed holder must
+	// fence) and front-end/witness partitions landing mid-CAS-round
+	// (renewals time out, validity lapses, claims drift to replicas
+	// that can still reach the witness). Deliberately NOT defaulted on:
+	// claim-stall draws happen strictly after every draw that existed
+	// before them, so any config leaving this zero consumes exactly the
+	// RNG stream it always did and historical (seed, cfg) plans replay
+	// bit-identically.
+	ClaimStalls int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -212,6 +224,34 @@ func RandomPlan(seed int64, cfg ChaosConfig) Plan {
 			start := t(0.56, 0.66)
 			end := start + t(0.08, 0.14)
 			if lim := sim.Time(0.80 * h); end > lim {
+				end = lim
+			}
+			plan.Partitions = append(plan.Partitions, Partition{
+				Start: start, End: end, A: []int{fe}, B: []int{cfg.Witness},
+			})
+		}
+	}
+
+	// Claim stalls (active-active clusters): drawn append-only, after
+	// every pre-existing draw. Even indices freeze a front-end mid-hold
+	// (long enough for its claims to orphan and be reclaimed); odd
+	// indices partition one from the witness (its CAS rounds time out
+	// and its validity lapses while it keeps serving clients). Victims
+	// repeat freely — two stalls on one replica are a legitimate
+	// scenario, unlike the distinct-victim lease faults above.
+	if cfg.ClaimStalls > 0 && len(cfg.FrontEnds) > 0 {
+		for i := 0; i < cfg.ClaimStalls; i++ {
+			fe := cfg.FrontEnds[rng.Intn(len(cfg.FrontEnds))]
+			if i%2 == 0 {
+				at := t(0.30, 0.42)
+				plan.Freezes = append(plan.Freezes, Freeze{
+					Node: fe, At: at, Until: at + t(0.10, 0.16),
+				})
+				continue
+			}
+			start := t(0.55, 0.68)
+			end := start + t(0.08, 0.14)
+			if lim := sim.Time(0.85 * h); end > lim {
 				end = lim
 			}
 			plan.Partitions = append(plan.Partitions, Partition{

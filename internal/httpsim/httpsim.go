@@ -166,6 +166,16 @@ type Dispatcher struct {
 	// reply instead of service).
 	Admission func() bool
 
+	// BackendFence, if set, is consulted after the policy picked a
+	// back-end: a false return means this front-end does not validly
+	// hold the claim covering that back-end's dispatch shard and must
+	// not forward — the client gets a NotPrimary reply and retries
+	// against another front-end. It also guards a policy returning -1
+	// (no claimed candidates at all). This is the hard guarantee behind
+	// active-active dispatch: the claim filter steers, the fence
+	// enforces.
+	BackendFence func(backend int) bool
+
 	// OnRoute, if set, observes every routing decision just after the
 	// policy picked a back-end (the chaos invariant checker audits
 	// dispatch-to-crashed-node violations here).
@@ -173,10 +183,13 @@ type Dispatcher struct {
 
 	Routed uint64
 	// Fenced counts requests refused by the lease fence.
-	Fenced  uint64
-	ByNode  map[int]uint64
-	stopped bool
-	task    *simos.Task
+	Fenced uint64
+	// ShardFenced counts requests refused by the per-backend claim
+	// fence (picked back-end's shard not validly held here).
+	ShardFenced uint64
+	ByNode      map[int]uint64
+	stopped     bool
+	task        *simos.Task
 
 	// Decayed per-backend forward counters: the dispatcher's local
 	// connection-count signal (exponential decay, time constant
@@ -234,6 +247,14 @@ func StartDispatcherOn(node *simos.Node, nic *simnet.NIC, policy loadbalance.Pol
 					return
 				}
 				b := d.policy.Pick()
+				if b < 0 || (d.BackendFence != nil && !d.BackendFence(b)) {
+					d.ShardFenced++
+					nak := Reply{ID: req.ID, Class: req.Class, Issued: req.Issued, NotPrimary: true}
+					d.nic.Send(tk, req.Client, "", 256, nak, func() {
+						tk.Recv(d.port, serve)
+					})
+					return
+				}
 				if d.OnRoute != nil {
 					d.OnRoute(b)
 				}

@@ -55,6 +55,14 @@ type Config struct {
 	// application nothing per operation, like every other region.
 	HostLease bool
 
+	// HostClaims, when positive, additionally makes this agent the
+	// active-active claim witness: it registers HostClaims per-shard
+	// claim words and records as writable regions (mutated only by
+	// remote one-sided CAS/write) and serves their keys on a control
+	// port. Like the lease, hosting costs the agent application nothing
+	// per operation.
+	HostClaims int
+
 	// Push, when non-nil, additionally starts the hybrid scheme's delta
 	// pusher: the agent samples locally every Push.Check and RDMA-Writes
 	// a timestamped record into its slot on the front-end PushHost when
@@ -77,7 +85,8 @@ type Agent struct {
 	seq    uint32
 	closed bool
 
-	vault *leaseVault // non-nil when this agent hosts the lease
+	vault  *leaseVault // non-nil when this agent hosts the lease
+	cvault *claimVault // non-nil when this agent hosts the claim table
 
 	pusher *Pusher // non-nil when cfg.Push is set
 
@@ -191,6 +200,9 @@ func StartAgent(cfg Config) (*Agent, error) {
 
 	if cfg.HostLease {
 		a.hostLease()
+	}
+	if cfg.HostClaims > 0 {
+		a.hostClaims(cfg.HostClaims)
 	}
 
 	if cfg.Push != nil {

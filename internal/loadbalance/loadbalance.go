@@ -88,6 +88,17 @@ type WeightedLeastLoad struct {
 	// skipped by Exclude — dispatch decisions shaped by quarantine.
 	ExcludedPicks uint64
 
+	// Claimed, if set, restricts the candidate set to back-ends whose
+	// dispatch shard this front-end validly holds (active-active claim
+	// arbitration). Unlike Exclude there is NO fallback onto unclaimed
+	// back-ends — routing there would double-dispatch against the
+	// shard's real holder — so when nothing is claimed Pick returns -1
+	// and the dispatcher redirects the client to another front-end.
+	Claimed func(backend int) bool
+	// ClaimSkips counts picks where the claim filter removed at least
+	// one back-end from consideration.
+	ClaimSkips uint64
+
 	// Slope, if set together with a positive TrendHorizon, turns on
 	// trend-aware dispatch: each back-end's index is projected one
 	// horizon ahead (index + slope×horizon) before comparison, so a
@@ -187,7 +198,12 @@ func (w *WeightedLeastLoad) Pick() int {
 	// often the trend term actually reordered the choice.
 	lvlBest, projBest := -1, -1
 	lvlMin, projMin := 0.0, 0.0
+	claimSkipped := false
 	for _, b := range w.Backends {
+		if w.Claimed != nil && !w.Claimed(b) {
+			claimSkipped = true
+			continue
+		}
 		if w.Exclude != nil && w.Exclude(b) {
 			skipped = true
 			continue
@@ -234,15 +250,33 @@ func (w *WeightedLeastLoad) Pick() int {
 	if skipped {
 		w.ExcludedPicks++
 	}
+	if claimSkipped {
+		w.ClaimSkips++
+	}
 	if lvlBest != projBest {
 		w.TrendPicks++
 	}
 	if best < 0 {
-		// Everything quarantined: fall back to uniform over all.
+		// Everything quarantined: fall back to uniform — but only over
+		// back-ends this front-end actually holds; an unclaimed shard
+		// belongs to another dispatcher and leaking onto it would
+		// double-dispatch.
+		pool := w.Backends
+		if w.Claimed != nil {
+			pool = pool[:0:0]
+			for _, b := range w.Backends {
+				if w.Claimed(b) {
+					pool = append(pool, b)
+				}
+			}
+			if len(pool) == 0 {
+				return -1
+			}
+		}
 		if w.Rng != nil {
-			best = w.Backends[w.Rng.Intn(len(w.Backends))]
+			best = pool[w.Rng.Intn(len(pool))]
 		} else {
-			best = w.Backends[0]
+			best = pool[0]
 		}
 	}
 	if w.Degraded != nil && w.Degraded(best) {
@@ -289,6 +323,12 @@ type WeightedProportional struct {
 	Exclude       func(backend int) bool
 	ExcludedPicks uint64
 
+	// Claimed / ClaimSkips: as in WeightedLeastLoad — an unclaimed
+	// back-end's weight is zero with no fallback onto it; Pick returns
+	// -1 when this front-end holds nothing.
+	Claimed    func(backend int) bool
+	ClaimSkips uint64
+
 	// Degraded / DegradedPenalty / DegradedPicks: as in
 	// WeightedLeastLoad — degraded back-ends keep a (handicapped)
 	// traffic share rather than being zeroed like quarantined ones.
@@ -317,7 +357,13 @@ func (w *WeightedProportional) Pick() int {
 	w.weights = w.weights[:len(w.Backends)]
 	total := 0.0
 	skipped := false
+	claimSkipped := false
 	for i, b := range w.Backends {
+		if w.Claimed != nil && !w.Claimed(b) {
+			w.weights[i] = 0
+			claimSkipped = true
+			continue
+		}
 		if w.Exclude != nil && w.Exclude(b) {
 			w.weights[i] = 0
 			skipped = true
@@ -367,7 +413,24 @@ func (w *WeightedProportional) Pick() int {
 	if skipped {
 		w.ExcludedPicks++
 	}
-	pick := w.Backends[0]
+	if claimSkipped {
+		w.ClaimSkips++
+	}
+	// The quarantine fallback pool: all back-ends, or only the claimed
+	// ones — never leak onto a shard another front-end holds.
+	pool := w.Backends
+	if w.Claimed != nil {
+		pool = pool[:0:0]
+		for _, b := range w.Backends {
+			if w.Claimed(b) {
+				pool = append(pool, b)
+			}
+		}
+		if len(pool) == 0 {
+			return -1
+		}
+	}
+	pick := pool[0]
 	if total > 0 {
 		for i, b := range w.Backends {
 			if w.weights[i] > 0 {
@@ -390,9 +453,9 @@ func (w *WeightedProportional) Pick() int {
 			}
 		}
 	case total == 0 && w.Rng != nil:
-		// Everything quarantined: uniform over all beats dispatching
-		// every request to Backends[0].
-		pick = w.Backends[w.Rng.Intn(len(w.Backends))]
+		// Everything quarantined: uniform over the pool beats
+		// dispatching every request to its first entry.
+		pick = pool[w.Rng.Intn(len(pool))]
 	}
 	if w.Degraded != nil && w.Degraded(pick) {
 		w.DegradedPicks++

@@ -760,65 +760,125 @@ func (n *NIC) RDMACompareSwap(t *simos.Task, target int, key uint32, compare, sw
 			c := v.(rdmaCompletion)
 			then(c.prev, c.err)
 		})
-		n.RDMAAtomics++
-		var extra sim.Time
-		if f.Faults != nil {
-			v := f.Faults.RDMA(n.node.ID, target)
-			if v.Fail {
-				f.countErr(n)
-				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
-				return
-			}
-			extra = v.Delay
-		}
-		f.Eng.After(f.xmit(32)+extra, func() { // descriptor + compare + swap operands
-			tn := f.nics[target]
-			if tn == nil {
-				n.complete(t, rdmaCompletion{err: ErrNoRoute})
-				return
-			}
-			if tn.node.Down() {
-				f.countErr(n)
-				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
-				return
-			}
-			f.Eng.After(f.Cfg.NICService, func() {
-				mr := tn.mrs[key]
-				switch {
-				case mr == nil:
-					tn.fab.countErr(n)
-					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrBadKey})
-					return
-				case !mr.writable:
-					tn.fab.countErr(n)
-					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrPermission})
-					return
-				case mr.size < 8:
-					tn.fab.countErr(n)
-					n.completeAfter(t, f.xmit(0), rdmaCompletion{err: ErrLength})
-					return
-				}
-				// The atomic instant: read, compare and (maybe) write
-				// back within one NIC service slot. The engine is the
-				// serialization point, exactly as responder-side atomic
-				// units serialize concurrent atomics in hardware. The
-				// scratch copy is pooled: it exists only so the sink
-				// observes a fully-formed post-swap image.
-				src := mr.source()
-				cur := f.getBuf(len(src))
-				copy(cur, src)
-				prev := binary.LittleEndian.Uint64(cur[:8])
-				if prev == compare {
-					binary.LittleEndian.PutUint64(cur[:8], swap)
-					mr.sink(cur)
-				}
-				f.putBuf(cur)
-				if f.AblationRDMATargetIRQ {
-					tn.node.RaiseNetIRQ(nil)
-				}
-				n.completeAfter(t, f.xmit(8), rdmaCompletion{prev: prev})
-			})
+		n.postCompSwap(target, key, compare, swap, func(prev uint64, err error) {
+			t.Resume(rdmaCompletion{prev: prev, err: err})
 		})
+	})
+}
+
+// postCompSwap performs one posted compare-and-swap work request: the
+// fabric traversal, the responder-side atomic, and the completion
+// callback. Shared by the single-CAS verb and the doorbell-batched
+// form; the caller has already paid the post cost.
+func (n *NIC) postCompSwap(target int, key uint32, compare, swap uint64, done func(prev uint64, err error)) {
+	f := n.fab
+	n.RDMAAtomics++
+	var extra sim.Time
+	if f.Faults != nil {
+		v := f.Faults.RDMA(n.node.ID, target)
+		if v.Fail {
+			f.countErr(n)
+			f.Eng.After(f.Cfg.RDMATimeout, func() { done(0, ErrTimeout) })
+			return
+		}
+		extra = v.Delay
+	}
+	f.Eng.After(f.xmit(32)+extra, func() { // descriptor + compare + swap operands
+		tn := f.nics[target]
+		if tn == nil {
+			done(0, ErrNoRoute)
+			return
+		}
+		if tn.node.Down() {
+			f.countErr(n)
+			f.Eng.After(f.Cfg.RDMATimeout, func() { done(0, ErrTimeout) })
+			return
+		}
+		f.Eng.After(f.Cfg.NICService, func() {
+			mr := tn.mrs[key]
+			switch {
+			case mr == nil:
+				tn.fab.countErr(n)
+				f.Eng.After(f.xmit(0), func() { done(0, ErrBadKey) })
+				return
+			case !mr.writable:
+				tn.fab.countErr(n)
+				f.Eng.After(f.xmit(0), func() { done(0, ErrPermission) })
+				return
+			case mr.size < 8:
+				tn.fab.countErr(n)
+				f.Eng.After(f.xmit(0), func() { done(0, ErrLength) })
+				return
+			}
+			// The atomic instant: read, compare and (maybe) write
+			// back within one NIC service slot. The engine is the
+			// serialization point, exactly as responder-side atomic
+			// units serialize concurrent atomics in hardware. The
+			// scratch copy is pooled: it exists only so the sink
+			// observes a fully-formed post-swap image.
+			src := mr.source()
+			cur := f.getBuf(len(src))
+			copy(cur, src)
+			prev := binary.LittleEndian.Uint64(cur[:8])
+			if prev == compare {
+				binary.LittleEndian.PutUint64(cur[:8], swap)
+				mr.sink(cur)
+			}
+			f.putBuf(cur)
+			if f.AblationRDMATargetIRQ {
+				tn.node.RaiseNetIRQ(nil)
+			}
+			f.Eng.After(f.xmit(8), func() { done(prev, nil) })
+		})
+	})
+}
+
+// CASReq describes one work request of a doorbell-batched
+// compare-and-swap.
+type CASReq struct {
+	Target  int
+	Key     uint32
+	Compare uint64
+	Swap    uint64
+}
+
+// CASResult is the completion of one work request in a CAS batch:
+// Prev == the request's Compare means that swap was applied.
+type CASResult struct {
+	Prev uint64
+	Err  error
+}
+
+// RDMACompareSwapBatch posts len(reqs) one-sided compare-and-swaps
+// with a single doorbell ring, exactly as RDMAReadBatch batches reads:
+// the initiator pays RDMAPostCost once plus RDMAPostWRCost per
+// additional work request, the atomics traverse the fabric
+// concurrently (each serialized at its responder NIC), and the posting
+// task wakes exactly once with every completion. Results are
+// positional; per-request failures land in that slot's Err. A claim
+// manager renewing S shard claims rings one doorbell per cycle instead
+// of S.
+func (n *NIC) RDMACompareSwapBatch(t *simos.Task, reqs []CASReq, then func(results []CASResult)) {
+	f := n.fab
+	if len(reqs) == 0 {
+		t.Compute(0, func() { then(nil) })
+		return
+	}
+	cost := f.Cfg.RDMAPostCost + sim.Time(len(reqs)-1)*f.Cfg.RDMAPostWRCost
+	t.Compute(cost, func() {
+		t.Await(func(v any) { then(v.([]CASResult)) })
+		n.DoorbellBatches++
+		results := make([]CASResult, len(reqs))
+		remaining := len(reqs)
+		for i, rq := range reqs {
+			i, rq := i, rq
+			n.postCompSwap(rq.Target, rq.Key, rq.Compare, rq.Swap, func(prev uint64, err error) {
+				results[i] = CASResult{Prev: prev, Err: err}
+				if remaining--; remaining == 0 {
+					t.Resume(results)
+				}
+			})
+		}
 	})
 }
 

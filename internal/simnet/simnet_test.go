@@ -584,3 +584,94 @@ func TestRDMACompareSwapFrozenTargetStillServes(t *testing.T) {
 		t.Fatalf("prev=%d word=%d, want 0/5", prev, binary.LittleEndian.Uint64(word))
 	}
 }
+
+func TestRDMACompareSwapBatch(t *testing.T) {
+	r := newRig(t, 3, Defaults())
+	words := make([][]byte, 3)
+	keys := make([]uint32, 3)
+	for i := range words {
+		w := make([]byte, 8)
+		words[i] = w
+		keys[i] = r.nics[2].RegisterWritableMR(StaticSource(w), len(w), func(b []byte) { copy(w, b) }).Key()
+	}
+	binary.LittleEndian.PutUint64(words[1], 99) // second CAS must lose
+
+	var results []CASResult
+	r.nodes[0].Spawn("casbatch", func(tk *simos.Task) {
+		r.nics[0].RDMACompareSwapBatch(tk, []CASReq{
+			{Target: 2, Key: keys[0], Compare: 0, Swap: 7},
+			{Target: 2, Key: keys[1], Compare: 0, Swap: 8},
+			{Target: 2, Key: keys[2], Compare: 0, Swap: 9},
+			{Target: 2, Key: 0xdead, Compare: 0, Swap: 1},
+		}, func(res []CASResult) { results = append([]CASResult(nil), res...) })
+	})
+	r.eng.RunUntil(sim.Second)
+
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if results[0].Err != nil || results[0].Prev != 0 {
+		t.Fatalf("wr0: prev=%d err=%v, want win from 0", results[0].Prev, results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Prev != 99 {
+		t.Fatalf("wr1: prev=%d err=%v, want loss observing 99", results[1].Prev, results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Prev != 0 {
+		t.Fatalf("wr2: prev=%d err=%v, want win from 0", results[2].Prev, results[2].Err)
+	}
+	if results[3].Err != ErrBadKey {
+		t.Fatalf("wr3: err=%v, want ErrBadKey (isolated per-WR failure)", results[3].Err)
+	}
+	if got := binary.LittleEndian.Uint64(words[0]); got != 7 {
+		t.Fatalf("word0 = %d, want 7", got)
+	}
+	if got := binary.LittleEndian.Uint64(words[1]); got != 99 {
+		t.Fatalf("word1 = %d, want 99 (losing swap must not apply)", got)
+	}
+	if got := binary.LittleEndian.Uint64(words[2]); got != 9 {
+		t.Fatalf("word2 = %d, want 9", got)
+	}
+	if r.nics[0].DoorbellBatches != 1 {
+		t.Fatalf("DoorbellBatches = %d, want 1 (one doorbell for the whole batch)", r.nics[0].DoorbellBatches)
+	}
+	if r.nics[0].RDMAAtomics != 4 {
+		t.Fatalf("RDMAAtomics = %d, want 4", r.nics[0].RDMAAtomics)
+	}
+}
+
+func TestRDMACompareSwapBatchRaceSerializes(t *testing.T) {
+	// Two initiators batch-CAS the same word at the same instant:
+	// exactly one must win — the responder NIC is the serialization
+	// point for batched atomics exactly as for single ones.
+	r := newRig(t, 3, Defaults())
+	word := make([]byte, 8)
+	key := r.nics[2].RegisterWritableMR(StaticSource(word), len(word), func(b []byte) { copy(word, b) }).Key()
+
+	var res [2][]CASResult
+	for i := 0; i < 2; i++ {
+		i := i
+		r.nodes[i].Spawn("rival", func(tk *simos.Task) {
+			r.nics[i].RDMACompareSwapBatch(tk, []CASReq{
+				{Target: 2, Key: key, Compare: 0, Swap: uint64(10 + i)},
+			}, func(rs []CASResult) { res[i] = append([]CASResult(nil), rs...) })
+		})
+	}
+	r.eng.RunUntil(sim.Second)
+
+	wins := 0
+	for i := 0; i < 2; i++ {
+		if len(res[i]) != 1 || res[i][0].Err != nil {
+			t.Fatalf("rival %d: results %+v", i, res[i])
+		}
+		if res[i][0].Prev == 0 {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d rivals won the same CAS, want exactly 1", wins)
+	}
+	got := binary.LittleEndian.Uint64(word)
+	if got != 10 && got != 11 {
+		t.Fatalf("word = %d, want the single winner's swap", got)
+	}
+}

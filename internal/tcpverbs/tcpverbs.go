@@ -66,6 +66,11 @@ var (
 	ErrLength     = errors.New("tcpverbs: access beyond region bounds")
 	ErrNoHandler  = errors.New("tcpverbs: no handler for port")
 	ErrClosed     = errors.New("tcpverbs: connection closed")
+	// ErrFenced reports a compare-and-swap whose bid can never succeed:
+	// the remote word has moved to a strictly newer epoch than the bid
+	// targets, so the caller has been deposed (or bid from a stale
+	// observation an epoch behind). Returned by CompareSwapFenced only.
+	ErrFenced = errors.New("tcpverbs: compare-and-swap fenced by a newer epoch")
 )
 
 const maxFrame = 16 << 20
@@ -911,6 +916,42 @@ func (c *Conn) CompareSwap(rkey uint32, compare, swap uint64) (uint64, error) {
 		return 0, ErrClosed
 	}
 	return binary.BigEndian.Uint64(data), nil
+}
+
+// CompareSwapFenced is CompareSwap specialized to epoch-numbered words
+// (the wire.PackLeaseWord / wire.PackClaimWord layout: epoch in bits
+// 32..47). It repairs the hazard CompareSwap documents — a CAS is not
+// idempotent under redial-and-replay — by recognizing the replay of an
+// already-applied bid: when the observed value equals swap, the first
+// attempt won and only its reply was lost, so the caller is told the
+// win (prev == compare) instead of a false loss. This is sound because
+// protocol bids are unique in the word's history: a takeover installs
+// (owner, epoch+1, 0) for a strictly fresh epoch, and a renewal
+// installs a strictly increasing stamp within the epoch, so observing
+// one's own swap value can only mean one's own CAS applied it.
+//
+// A genuine loss whose observed epoch is strictly newer than the bid's
+// surfaces as ErrFenced: the bid is permanently stale (deposed holder,
+// or a bidder an epoch behind) and no amount of retrying this operand
+// pair can win. A loss at the bid's own epoch returns (prev, nil) —
+// the caller re-observes and decides. Epochs compare serially, so the
+// distinction survives uint16 wraparound.
+func (c *Conn) CompareSwapFenced(rkey uint32, compare, swap uint64) (uint64, error) {
+	prev, err := c.CompareSwap(rkey, compare, swap)
+	if err != nil {
+		return prev, err
+	}
+	if prev == compare {
+		return prev, nil // won outright
+	}
+	if prev == swap && swap != compare {
+		return compare, nil // replay of an applied bid: the win was ours
+	}
+	pe, be := uint16(prev>>32), uint16(swap>>32)
+	if pe != be && pe-be < 0x8000 { // serial: prev's epoch strictly newer
+		return prev, ErrFenced
+	}
+	return prev, nil
 }
 
 // Call performs a request/response exchange with a named handler on

@@ -41,9 +41,13 @@ type ClientPoolConfig struct {
 	Seed      int64
 
 	// FrontEnds, if non-empty, lists every front-end replica the
-	// clients know about (think: DNS round-robin over the VIPs). A
-	// NotPrimary reply or a request timeout rotates the pool to the
-	// next replica; FrontEnd is ignored when set.
+	// clients know about (think: DNS round-robin over the VIPs). Each
+	// request goes to the next replica not currently shunned; a
+	// NotPrimary reply or a request timeout shuns that one replica for
+	// a cooldown rather than advancing a pool-wide cursor — N clients
+	// hitting one dead replica at once must not rotate the cursor N
+	// steps (which, modulo the replica count, can land every retry
+	// right back on the dead one). FrontEnd is ignored when set.
 	FrontEnds []int
 	// Timeout overrides RequestTimeout. Pools pointed at a replicated
 	// front-end use a shorter patience so a dead primary is abandoned
@@ -76,14 +80,16 @@ type ClientPool struct {
 	Rejected uint64
 
 	// NotPrimary counts replies refused by a fenced (non-primary)
-	// dispatcher; Retargets counts rotations to another front-end
-	// replica (after a NotPrimary or a timeout).
+	// dispatcher; Retargets counts replicas shunned after a NotPrimary
+	// or a timeout (each shun steers the affected client — and soon the
+	// whole pool — to other front-ends).
 	NotPrimary uint64
 	Retargets  uint64
 
 	Completed uint64
 	nextID    uint64
-	front     int // index into Cfg.FrontEnds
+	front     int        // round-robin cursor into Cfg.FrontEnds
+	feDown    []sim.Time // per-replica: shunned until this instant
 	stopped   bool
 	paused    bool
 	startedAt sim.Time
@@ -93,6 +99,7 @@ type ClientPool struct {
 type inflightReq struct {
 	id      uint64
 	req     httpsim.Request
+	fe      int // index into Cfg.FrontEnds this attempt targeted (-1: fixed FrontEnd)
 	timeout *sim.Event
 }
 
@@ -105,6 +112,10 @@ const RequestTimeout = 10 * sim.Second
 // replica holds the lease, and hammering the fleet at wire rate would
 // only add noise to the handoff.
 const notPrimaryBackoff = 25 * sim.Millisecond
+
+// frontEndCooldown is how long a replica that refused or ignored a
+// request is shunned before clients try it again.
+const frontEndCooldown = 500 * sim.Millisecond
 
 // StartClients launches the pool on fab. Clients begin issuing
 // immediately, desynchronized by one think time.
@@ -129,6 +140,7 @@ func StartClients(fab *simnet.Fabric, cfg ClientPoolConfig) *ClientPool {
 		PerBackend: make(map[int]*metrics.Sample),
 		startedAt:  fab.Eng.Now(),
 		inflight:   make(map[int]*inflightReq),
+		feDown:     make([]sim.Time, len(cfg.FrontEnds)),
 	}
 	for c := 0; c < cfg.Clients; c++ {
 		ext := cfg.ExtBase - c
@@ -160,19 +172,19 @@ func (p *ClientPool) scheduleNext(ext int) {
 		p.nextID++
 		id := p.nextID
 		req := p.Cfg.Gen(p.rng, id, ext, p.fab.Eng.Now())
-		fl := &inflightReq{id: id, req: req}
+		fl := &inflightReq{id: id, req: req, fe: p.pickFront()}
 		fl.timeout = p.fab.Eng.After(p.patience(), func() {
 			if p.stopped || p.inflight[ext] != fl {
 				return
 			}
 			delete(p.inflight, ext)
 			p.Timeouts++
-			// A silent front-end may be dead: try the next replica.
-			p.rotateFront()
+			// A silent front-end may be dead: shun it and move on.
+			p.shun(fl.fe)
 			p.scheduleNext(ext)
 		})
 		p.inflight[ext] = fl
-		p.fab.Inject(ext, p.frontEnd(), p.Cfg.Port, req.Size, req)
+		p.fab.Inject(ext, p.target(fl.fe), p.Cfg.Port, req.Size, req)
 	})
 }
 
@@ -183,19 +195,42 @@ func (p *ClientPool) patience() sim.Time {
 	return RequestTimeout
 }
 
-// frontEnd returns the replica this pool currently targets.
-func (p *ClientPool) frontEnd() int {
-	if len(p.Cfg.FrontEnds) == 0 {
-		return p.Cfg.FrontEnd
+// pickFront advances the round-robin cursor to the next replica not
+// currently shunned and returns its index (-1 when the pool targets a
+// single fixed FrontEnd). With every replica shunned it degrades to
+// plain round-robin — somebody may have recovered.
+func (p *ClientPool) pickFront() int {
+	n := len(p.Cfg.FrontEnds)
+	if n == 0 {
+		return -1
 	}
-	return p.Cfg.FrontEnds[p.front%len(p.Cfg.FrontEnds)]
+	now := p.fab.Eng.Now()
+	for i := 0; i < n; i++ {
+		idx := p.front % n
+		p.front++
+		if p.feDown[idx] <= now {
+			return idx
+		}
+	}
+	idx := p.front % n
+	p.front++
+	return idx
 }
 
-func (p *ClientPool) rotateFront() {
-	if len(p.Cfg.FrontEnds) < 2 {
+// target maps a pickFront index to a node ID.
+func (p *ClientPool) target(fe int) int {
+	if fe < 0 {
+		return p.Cfg.FrontEnd
+	}
+	return p.Cfg.FrontEnds[fe]
+}
+
+// shun takes one replica out of the rotation for frontEndCooldown.
+func (p *ClientPool) shun(fe int) {
+	if fe < 0 || len(p.Cfg.FrontEnds) < 2 {
 		return
 	}
-	p.front++
+	p.feDown[fe] = p.fab.Eng.Now() + frontEndCooldown
 	p.Retargets++
 }
 
@@ -212,16 +247,18 @@ func (p *ClientPool) onReply(ext int, m simos.Message) {
 		return // reply to an abandoned request
 	}
 	if rep.NotPrimary {
-		// The dispatcher's lease fence refused us. Rotate to the next
-		// replica and retry the same request after a short backoff;
+		// The dispatcher's fence refused us (no lease, or no claim on
+		// the shard it picked). Shun that replica and retry the same
+		// request against the next active one after a short backoff;
 		// the original patience timer keeps the retries bounded.
 		p.NotPrimary++
-		p.rotateFront()
+		p.shun(fl.fe)
 		p.fab.Eng.After(notPrimaryBackoff, func() {
 			if p.stopped || p.inflight[ext] != fl {
 				return
 			}
-			p.fab.Inject(ext, p.frontEnd(), p.Cfg.Port, fl.req.Size, fl.req)
+			fl.fe = p.pickFront()
+			p.fab.Inject(ext, p.target(fl.fe), p.Cfg.Port, fl.req.Size, fl.req)
 		})
 		return
 	}

@@ -298,3 +298,57 @@ func TestFPAppMeasuresInterference(t *testing.T) {
 		t.Fatalf("interfered delay = %.4f, want noticeable slowdown", app2.Delays.Mean())
 	}
 }
+
+// TestClientPoolShunsDeadReplica pins the retarget discipline: a
+// replica that times out or naks is shunned individually for a
+// cooldown, while requests keep round-robining across the remaining
+// replicas. The old pool-wide cursor rotated once per concurrent
+// failure — with N clients stuck on one dead replica that advanced the
+// cursor N steps, which modulo the replica count can land every retry
+// right back on the dead one.
+func TestClientPoolShunsDeadReplica(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fab := simnet.NewFabric(eng, simnet.Defaults())
+	p := &ClientPool{
+		Cfg:    ClientPoolConfig{FrontEnds: []int{10, 11, 12}},
+		fab:    fab,
+		feDown: make([]sim.Time, 3),
+	}
+	// Healthy pool: successive requests spread over every replica.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		seen[p.target(p.pickFront())] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("healthy rotation covered %d replicas, want 3", len(seen))
+	}
+	// Three clients fail against replica 11 at once (the pathological
+	// case for a shared cursor: 3 rotations mod 3 is a no-op).
+	for i := 0; i < 3; i++ {
+		p.shun(1)
+	}
+	if p.Retargets != 3 {
+		t.Fatalf("retargets = %d, want 3", p.Retargets)
+	}
+	for i := 0; i < 6; i++ {
+		if got := p.target(p.pickFront()); got == 11 {
+			t.Fatal("picked the shunned replica during its cooldown")
+		}
+	}
+	// After the cooldown the replica rejoins the rotation.
+	eng.RunFor(frontEndCooldown + 1)
+	seen = map[int]bool{}
+	for i := 0; i < 3; i++ {
+		seen[p.target(p.pickFront())] = true
+	}
+	if !seen[11] {
+		t.Fatal("replica never rejoined after cooldown")
+	}
+	// All replicas shunned: degrade to round-robin rather than stalling.
+	for i := range p.feDown {
+		p.feDown[i] = eng.Now() + frontEndCooldown
+	}
+	if fe := p.pickFront(); fe < 0 || fe > 2 {
+		t.Fatalf("all-shunned pick = %d", fe)
+	}
+}
