@@ -6,9 +6,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke bench bench-baseline bench-check clean
+.PHONY: ci vet build test race fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke scenario-smoke bench bench-baseline bench-check clean
 
-ci: vet build race bench-check fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke
+ci: vet build race bench-check fuzz chaos-smoke ha-smoke aa-smoke hybrid-smoke churn-smoke scenario-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzPushRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzHistoryRing$$ -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzClaimRecord$$ -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzScenario$$ -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # Randomized failover chaos: three seeded fault plans, invariants
 # asserted, non-zero exit on any violation.
@@ -71,6 +72,14 @@ hybrid-smoke:
 # violation.
 churn-smoke:
 	$(GO) run ./cmd/rmbench -exp scale -backends 1024 -quick
+
+# Declarative scenario DSL smoke: the quickest curated scenario end to
+# end through rmbench (non-zero exit if its assertions fail) plus the
+# chaos-equivalence golden tests pinning that scenario-compiled plans
+# stay bit-identical to the legacy Go-coded chaos/ha experiments.
+scenario-smoke:
+	$(GO) run ./cmd/rmbench -scenario examples/scenarios/quickstart.yaml
+	$(GO) test -run 'TestChaosScenarioPlanEquivalence|TestHAScenarioPlanEquivalence|TestScenarioGoldenDigests' -count=1 ./internal/scenario
 
 # One-command reproduction pass over the paper's tables and figures.
 # -benchmem surfaces allocs/op and B/op next to the sim-derived

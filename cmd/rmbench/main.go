@@ -28,6 +28,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		exp     = flag.String("exp", "", "experiment id (fig3..fig9, table1, extensions, or 'all')")
+		scen    = flag.String("scenario", "", "run a declarative scenario file (YAML or JSON, see examples/scenarios/)")
 		list    = flag.Bool("list", false, "list experiment ids")
 		quick   = flag.Bool("quick", false, "short runs (noisier tails)")
 		seed    = flag.Int64("seed", 0, "simulation seed (0 = default)")
@@ -52,12 +53,12 @@ func run() int {
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *scen == "") {
 		fmt.Println("experiments:")
 		for _, id := range experiments.IDs() {
 			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
 		}
-		if *exp == "" && !*list {
+		if *exp == "" && *scen == "" && !*list {
 			return 2
 		}
 		return 0
@@ -70,9 +71,13 @@ func run() int {
 	}
 	defer stopProfiling()
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	var ids []string
+	switch *exp {
+	case "":
+	case "all":
 		ids = experiments.IDs()
+	default:
+		ids = []string{*exp}
 	}
 	opts := experiments.Options{
 		Seed: *seed, Quick: *quick, Sequential: *seq, Seeds: *seeds,
@@ -82,13 +87,7 @@ func run() int {
 		MaxConns: *conns, DialsPerSec: *dials, PoolIdleMS: *poolGC,
 	}
 	failed := false
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rmbench:", err)
-			return 1
-		}
+	emit := func(res *experiments.Result, start time.Time) {
 		switch *format {
 		case "csv":
 			res.RenderCSV(os.Stdout)
@@ -100,8 +99,26 @@ func run() int {
 		fmt.Printf("  (%.1fs wall)\n\n", time.Since(start).Seconds())
 		failed = failed || res.Failed
 	}
+	if *scen != "" {
+		start := time.Now()
+		res, err := experiments.RunScenarioFile(*scen, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmbench:", err)
+			return 1
+		}
+		emit(res, start)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmbench:", err)
+			return 1
+		}
+		emit(res, start)
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "rmbench: invariant violations (see notes above)")
+		fmt.Fprintln(os.Stderr, "rmbench: assertion or invariant violations (see notes above)")
 		return 1
 	}
 	return 0

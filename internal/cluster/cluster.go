@@ -154,6 +154,32 @@ type Config struct {
 	// Claim tunes claim arbitration (defaults derived from Poll;
 	// Shards defaults to Backends; only meaningful with ActiveActive).
 	Claim core.ClaimConfig
+
+	// BackendSpecs, when non-empty, makes the back-end fleet
+	// heterogeneous: entry i overrides back-end i+1's hardware and
+	// agent knobs (zero fields inherit Node / Workers / the cluster
+	// agent interval). Shorter-than-Backends slices leave the tail at
+	// the defaults. The overrides survive crash/restart fault cycles —
+	// a rebooted slow node comes back slow.
+	BackendSpecs []BackendSpec
+}
+
+// BackendSpec is one back-end's hardware/agent overrides for a
+// heterogeneous fleet (see Config.BackendSpecs).
+type BackendSpec struct {
+	// Template is a provenance label (which fleet template produced
+	// this back-end); reports group dispatch shares by it.
+	Template string
+	// CPUs overrides simos.Config.NumCPU for this node.
+	CPUs int
+	// NICLatency adds extra one-way fabric latency to every operation
+	// touching this node (simnet.Fabric.SetNodeLatency).
+	NICLatency sim.Time
+	// AgentInterval overrides the node's monitoring-agent refresh
+	// interval (Config.AgentInterval, then Poll).
+	AgentInterval sim.Time
+	// Workers overrides the web-server worker pool size.
+	Workers int
 }
 
 // Replica is one front-end instance: its own monitor (warm load view),
@@ -263,16 +289,19 @@ func New(cfg Config) *Cluster {
 	c.FNIC = c.Fab.Attach(c.Front)
 
 	for i := 1; i <= cfg.Backends; i++ {
-		n := simos.NewNode(c.Eng, i, cfg.Node)
+		n := simos.NewNode(c.Eng, i, c.backendNodeCfg(i-1))
 		nic := c.Fab.Attach(n)
+		if lat := c.spec(i - 1).NICLatency; lat > 0 {
+			c.Fab.SetNodeLatency(i, lat)
+		}
 		c.Backends = append(c.Backends, n)
 		c.BNICs = append(c.BNICs, nic)
 		if !cfg.NoServers {
-			srv := httpsim.StartServer(n, nic, httpsim.ServerConfig{Workers: cfg.Workers, MemPerKB: 2048})
+			srv := httpsim.StartServer(n, nic, c.serverConfig(i-1))
 			c.Servers = append(c.Servers, srv)
 		}
 		if !cfg.NoMonitor {
-			c.Agents = append(c.Agents, core.StartAgent(n, nic, c.agentConfig()))
+			c.Agents = append(c.Agents, core.StartAgent(n, nic, c.agentConfig(i-1)))
 		}
 	}
 	if !cfg.NoMonitor {
@@ -535,13 +564,46 @@ func (c *Cluster) monitorConfig() core.MonitorConfig {
 	return mc
 }
 
-// agentConfig is the per-backend agent configuration, shared by New
+// spec returns back-end index i's heterogeneity overrides; the zero
+// value (homogeneous fleet, or a slice shorter than Backends) leaves
+// every knob at the cluster default.
+func (c *Cluster) spec(i int) BackendSpec {
+	if i >= 0 && i < len(c.Cfg.BackendSpecs) {
+		return c.Cfg.BackendSpecs[i]
+	}
+	return BackendSpec{}
+}
+
+// backendNodeCfg is back-end index i's simos node configuration.
+func (c *Cluster) backendNodeCfg(i int) simos.Config {
+	nc := c.Cfg.Node
+	if s := c.spec(i); s.CPUs > 0 {
+		nc.NumCPU = s.CPUs
+	}
+	return nc
+}
+
+// serverConfig is back-end index i's web-server configuration, shared
+// by New and the restart path so a rebooted slow node comes back with
+// its small worker pool, not the fleet default.
+func (c *Cluster) serverConfig(i int) httpsim.ServerConfig {
+	w := c.Cfg.Workers
+	if s := c.spec(i); s.Workers > 0 {
+		w = s.Workers
+	}
+	return httpsim.ServerConfig{Workers: w, MemPerKB: 2048}
+}
+
+// agentConfig is back-end index i's agent configuration, shared by New
 // and the fault injector's restart path so a rebooted agent comes back
-// with the same standby-channel arrangement it died with.
-func (c *Cluster) agentConfig() core.AgentConfig {
+// with the same interval and standby-channel arrangement it died with.
+func (c *Cluster) agentConfig(i int) core.AgentConfig {
 	interval := c.Cfg.Poll
 	if c.Cfg.AgentInterval > 0 {
 		interval = c.Cfg.AgentInterval
+	}
+	if s := c.spec(i); s.AgentInterval > 0 {
+		interval = s.AgentInterval
 	}
 	return core.AgentConfig{
 		Scheme:        c.Cfg.Scheme,
@@ -779,12 +841,10 @@ func (c *Cluster) ApplyFaults(plan faults.Plan) *faults.Injector {
 		n := c.Backends[i]
 		nic := c.BNICs[i]
 		if !c.Cfg.NoServers {
-			c.Servers[i] = httpsim.StartServer(n, nic, httpsim.ServerConfig{
-				Workers: c.Cfg.Workers, MemPerKB: 2048,
-			})
+			c.Servers[i] = httpsim.StartServer(n, nic, c.serverConfig(i))
 		}
 		if !c.Cfg.NoMonitor {
-			c.Agents[i] = core.StartAgent(n, nic, c.agentConfig())
+			c.Agents[i] = core.StartAgent(n, nic, c.agentConfig(i))
 			c.Monitor.ReplaceAgent(node, c.Agents[i])
 			// Standby replicas track the reborn agent too.
 			for _, r := range c.FrontEnds {

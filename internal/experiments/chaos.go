@@ -6,6 +6,7 @@ import (
 	"rdmamon/internal/cluster"
 	"rdmamon/internal/core"
 	"rdmamon/internal/faults"
+	"rdmamon/internal/scenario"
 	"rdmamon/internal/sim"
 	"rdmamon/internal/wire"
 )
@@ -83,16 +84,31 @@ type ChaosData struct {
 //	    undisturbed back-end within the staleness SLO, and its digest
 //	    is part of the I5 replay check.
 func Chaos(o Options) *ChaosData {
+	cp, err := scenario.BuiltinChaos().Compile(o.Quick)
+	if err != nil {
+		// The builtin is covered by the golden tests; a compile failure
+		// here is a programming error, not an input error.
+		panic(err)
+	}
+	return chaosScenario(cp, o)
+}
+
+// chaosScenario runs the chaos invariant checker over a compiled
+// scenario — the one driver behind both the legacy `-exp chaos` flags
+// (via BuiltinChaos, bit-identical plans) and `-scenario` files with
+// `checks: chaos`.
+func chaosScenario(cp *scenario.Compiled, o Options) *ChaosData {
 	n := o.Seeds
 	if n <= 0 {
-		n = 5
+		n = cp.Points(0)
 	}
+	base := cp.BaseSeed(o.Seed)
 	d := &ChaosData{Points: make([]ChaosPoint, n)}
 	forEach(o, n, func(i int) {
-		seed := o.seed() + int64(i)*7919
-		pt := chaosPoint(o, seed)
+		seed := cp.SeedAt(base, i)
+		pt := chaosPoint(cp, seed)
 		if i == 0 {
-			replay := chaosPoint(o, seed)
+			replay := chaosPoint(cp, seed)
 			if replay.Fingerprint != pt.Fingerprint {
 				pt.Violations = append(pt.Violations,
 					fmt.Sprintf("I5 determinism: replay of seed %d diverged", seed))
@@ -104,43 +120,27 @@ func Chaos(o Options) *ChaosData {
 	return d
 }
 
-func chaosPoint(o Options, seed int64) ChaosPoint {
-	poll := core.DefaultInterval // 50ms
-	horizon := 20 * sim.Second
-	repin := 1500 * sim.Millisecond
-	clients := 48
-	if o.Quick {
-		horizon = 10 * sim.Second
-		repin = 800 * sim.Millisecond
-		clients = 32
-	}
+func chaosPoint(cp *scenario.Compiled, seed int64) ChaosPoint {
+	poll := cp.Poll
+	horizon := cp.Horizon
+	repin := cp.MRRepin
 
-	c := cluster.New(cluster.Config{
-		Backends:     8,
-		Scheme:       core.RDMASync,
-		Poll:         poll,
-		Seed:         seed,
-		Policy:       cluster.PolicyWebSphere,
-		Gamma:        4,
-		ProbeTimeout: poll,
-		MRRepin:      repin,
-		Failover:     &core.FailoverConfig{},
-	})
-	plan := faults.RandomPlan(seed, faults.ChaosConfig{Backends: 8, Horizon: horizon})
+	c := cluster.New(cp.ClusterConfig(seed, ""))
+	plan := cp.Plan(seed)
 	in := c.ApplyFaults(plan)
 
 	ck := newChaosChecker(c, plan, poll, repin)
 	ck.install(in)
 	defer ck.ticker.Stop()
 
-	pool := c.StartRUBiS(clients, 30*sim.Millisecond, seed+11)
+	pool := c.StartRUBiS(cp.Clients, cp.Think, seed+11)
 	c.Run(horizon)
 
 	ck.checkMREvents(horizon)
 	pt := ck.point(seed, pool.Timeouts)
 
 	// I6: the hybrid twin — same seed, same plan, push/pull monitoring.
-	hyb := chaosHybridTwin(seed, plan, poll, horizon, repin, clients)
+	hyb := chaosHybridTwin(cp, seed, plan)
 	pt.HybPushes = hyb.pushes
 	pt.HybStaleMaxT = float64(hyb.staleMax) / float64(poll)
 	pt.Violations = append(pt.Violations, hyb.violations...)
@@ -168,23 +168,15 @@ type hybridTwinStats struct {
 // mid-delta, MR invalidations tear down the aggregation slots, and
 // partitions strand decayed back-ends — all from the same plan the
 // all-pull run survived.
-func chaosHybridTwin(seed int64, plan faults.Plan, poll, horizon, repin sim.Time, clients int) hybridTwinStats {
-	c := cluster.New(cluster.Config{
-		Backends:     8,
-		Scheme:       core.RDMASync,
-		Poll:         poll,
-		Seed:         seed,
-		Policy:       cluster.PolicyWebSphere,
-		Gamma:        4,
-		ProbeTimeout: poll,
-		MRRepin:      repin,
-		Failover:     &core.FailoverConfig{},
-		Hybrid: &core.HybridConfig{
-			Period:    core.PeriodConfig{Min: poll, Max: 4 * poll},
-			Heartbeat: 6 * poll,
-			Check:     poll,
-		},
-	})
+func chaosHybridTwin(cp *scenario.Compiled, seed int64, plan faults.Plan) hybridTwinStats {
+	poll, horizon := cp.Poll, cp.Horizon
+	cfg := cp.ClusterConfig(seed, "")
+	cfg.Hybrid = &core.HybridConfig{
+		Period:    core.PeriodConfig{Min: poll, Max: 4 * poll},
+		Heartbeat: 6 * poll,
+		Check:     poll,
+	}
+	c := cluster.New(cfg)
 	in := c.ApplyFaults(plan)
 
 	st := hybridTwinStats{}
@@ -237,7 +229,7 @@ func chaosHybridTwin(seed int64, plan faults.Plan, poll, horizon, repin sim.Time
 	})
 	defer ticker.Stop()
 
-	pool := c.StartRUBiS(clients, 30*sim.Millisecond, seed+11)
+	pool := c.StartRUBiS(cp.Clients, cp.Think, seed+11)
 	c.Run(horizon)
 
 	var skips, perrs, decayed uint64

@@ -85,39 +85,12 @@ type Result struct {
 	Failed bool
 }
 
-// Render writes the result as an aligned text table.
+// Render writes the result as an aligned text table (AlignRows is the
+// shared writer every report table goes through).
 func (r *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
-	widths := make([]int, len(r.Columns))
-	for i, c := range r.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range r.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if i < len(widths) {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-			} else {
-				parts[i] = c
-			}
-		}
-		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
-	}
-	line(r.Columns)
-	sep := make([]string, len(r.Columns))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range r.Rows {
-		line(row)
+	for _, line := range AlignRows(r.Columns, r.Rows) {
+		fmt.Fprintln(w, "  "+line)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)

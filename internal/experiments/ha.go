@@ -7,6 +7,7 @@ import (
 	"rdmamon/internal/core"
 	"rdmamon/internal/faults"
 	"rdmamon/internal/httpsim"
+	"rdmamon/internal/scenario"
 	"rdmamon/internal/sim"
 	"rdmamon/internal/workload"
 )
@@ -72,16 +73,31 @@ type HAData struct {
 //	    rides the same one-sided reads and costs the monitored nodes
 //	    nothing.
 func HA(o Options) *HAData {
+	cp, err := scenario.BuiltinHA().Compile(o.Quick)
+	if err != nil {
+		// The builtin is covered by the golden tests; a compile failure
+		// here is a programming error, not an input error.
+		panic(err)
+	}
+	return haScenario(cp, o)
+}
+
+// haScenario runs the HA invariant checker over a compiled scenario —
+// the one driver behind both the legacy `-exp ha` flags (via
+// BuiltinHA, bit-identical plans) and `-scenario` files with
+// `checks: ha`.
+func haScenario(cp *scenario.Compiled, o Options) *HAData {
 	n := o.Seeds
 	if n <= 0 {
-		n = 5
+		n = cp.Points(0)
 	}
+	base := cp.BaseSeed(o.Seed)
 	d := &HAData{Points: make([]HAPoint, n)}
 	forEach(o, n, func(i int) {
-		seed := o.seed() + int64(i)*7919
-		pt := haPoint(o, seed)
+		seed := cp.SeedAt(base, i)
+		pt := haPoint(cp, seed)
 		if i == 0 {
-			replay := haPoint(o, seed)
+			replay := haPoint(cp, seed)
 			if replay.Fingerprint != pt.Fingerprint {
 				pt.Violations = append(pt.Violations,
 					fmt.Sprintf("H5 determinism: replay of seed %d diverged", seed))
@@ -93,40 +109,20 @@ func HA(o Options) *HAData {
 	return d
 }
 
-func haPoint(o Options, seed int64) HAPoint {
-	poll := core.DefaultInterval
-	horizon := 20 * sim.Second
-	clients := 48
-	if o.Quick {
-		horizon = 10 * sim.Second
-		clients = 32
-	}
+func haPoint(cp *scenario.Compiled, seed int64) HAPoint {
+	horizon := cp.Horizon
 
-	// Failover (the socket standby) is deliberately off: every probe in
-	// this experiment is one-sided, so H6 measures the pure cost of two
-	// extra shadow monitors — which must be zero.
-	c := cluster.New(cluster.Config{
-		Backends:     8,
-		Scheme:       core.RDMASync,
-		Poll:         poll,
-		Seed:         seed,
-		Policy:       cluster.PolicyWebSphere,
-		Gamma:        4,
-		ProbeTimeout: poll,
-		Replicas:     3,
-	})
-	plan := faults.RandomPlan(seed, faults.ChaosConfig{
-		Backends:  8,
-		Horizon:   horizon,
-		FrontEnds: c.FrontEndIDs(),
-		Witness:   c.Witness.ID,
-	})
+	// Failover (the socket standby) is deliberately off in the builtin:
+	// every probe in this experiment is one-sided, so H6 measures the
+	// pure cost of two extra shadow monitors — which must be zero.
+	c := cluster.New(cp.ClusterConfig(seed, ""))
+	plan := cp.Plan(seed)
 	c.ApplyFaults(plan)
 
 	ck := newHAChecker(c, plan)
 	ck.install()
 
-	pool := c.StartRUBiS(clients, 30*sim.Millisecond, seed+11)
+	pool := c.StartRUBiS(cp.Clients, cp.Think, seed+11)
 	c.Run(horizon)
 
 	ck.checkOverlaps()

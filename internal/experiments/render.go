@@ -7,6 +7,48 @@ import (
 	"strings"
 )
 
+// AlignRows is the shared table writer: it lays out a header and data
+// rows as left-aligned columns (each column as wide as its widest
+// cell, two spaces between columns, a dashed separator under the
+// header, no trailing whitespace). Every report table — experiment
+// results and the scenario end-of-run report alike — renders through
+// it, so alignment rules live in exactly one place.
+func AlignRows(columns []string, rows [][]string) []string {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	format := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	out := make([]string, 0, len(rows)+2)
+	out = append(out, format(columns))
+	sep := make([]string, len(columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out = append(out, format(sep))
+	for _, row := range rows {
+		out = append(out, format(row))
+	}
+	return out
+}
+
 // RenderCSV writes the result as CSV (header row first, notes as
 // trailing comment lines).
 func (r *Result) RenderCSV(w io.Writer) {

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAlignRows pins the shared table writer's column discipline:
+// every column is padded to its widest cell, columns are joined by two
+// spaces, trailing padding is trimmed, and a dashed separator follows
+// the header.
+func TestAlignRows(t *testing.T) {
+	lines := AlignRows(
+		[]string{"variant", "served", "stale_p99_t"},
+		[][]string{
+			{"least-load", "123456", "1.20"},
+			{"rr", "99", "14.75"},
+		},
+	)
+	want := []string{
+		"variant     served  stale_p99_t",
+		"----------  ------  -----------",
+		"least-load  123456  1.20",
+		"rr          99      14.75",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Fatalf("AlignRows:\n%s\nwant:\n%s", strings.Join(lines, "\n"), strings.Join(want, "\n"))
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("untrimmed line %q", l)
+		}
+	}
+}
+
+// TestAlignRowsRagged: short rows and over-long rows must not panic or
+// shift other columns.
+func TestAlignRowsRagged(t *testing.T) {
+	lines := AlignRows(
+		[]string{"a", "b"},
+		[][]string{
+			{"1"},
+			{"2", "3", "extra"},
+		},
+	)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[2] != "1" {
+		t.Fatalf("short row rendered as %q", lines[2])
+	}
+	if lines[3] != "2  3  extra" {
+		t.Fatalf("long row rendered as %q", lines[3])
+	}
+}

@@ -1,0 +1,87 @@
+package simnet
+
+import (
+	"testing"
+
+	"rdmamon/internal/sim"
+	"rdmamon/internal/simos"
+)
+
+// sendOnce measures the delivery time of one 64-byte socket send from
+// node 0 to node 1 on a fresh rig.
+func sendOnce(t *testing.T, slowNode int, extra sim.Time) sim.Time {
+	t.Helper()
+	r := newRig(t, 2, Defaults())
+	if extra > 0 {
+		r.fab.SetNodeLatency(slowNode, extra)
+	}
+	p := r.nodes[1].Port("svc")
+	var when sim.Time
+	r.nodes[1].Spawn("rx", func(tk *simos.Task) {
+		tk.Recv(p, func(m simos.Message) { when = r.eng.Now() })
+	})
+	r.nodes[0].Spawn("tx", func(tk *simos.Task) {
+		r.nics[0].Send(tk, 1, "svc", 64, "ping", nil)
+	})
+	r.eng.RunUntil(sim.Second)
+	if when == 0 {
+		t.Fatal("message not delivered")
+	}
+	return when
+}
+
+// TestNodeLatencyHeterogeneity: a per-node latency adds exactly that
+// much one-way delay whether it is pinned on the sender or the
+// receiver, and setting none reproduces the homogeneous timing
+// bit-identically (the empty-map fast path).
+func TestNodeLatencyHeterogeneity(t *testing.T) {
+	base := sendOnce(t, 0, 0)
+	again := sendOnce(t, 0, 0)
+	if base != again {
+		t.Fatalf("homogeneous fabric is non-deterministic: %v vs %v", base, again)
+	}
+	const extra = 300 * sim.Microsecond
+	slowRx := sendOnce(t, 1, extra)
+	slowTx := sendOnce(t, 0, extra)
+	if slowRx != base+extra {
+		t.Fatalf("receiver latency: delivered at %v, want %v + %v", slowRx, base, extra)
+	}
+	if slowTx != base+extra {
+		t.Fatalf("sender latency: delivered at %v, want %v + %v", slowTx, base, extra)
+	}
+}
+
+// TestNodeLatencyRDMARead: the heterogeneity also taxes one-sided
+// reads — the whole point of modelling slow NICs is that monitoring
+// probes against those nodes pay for it.
+func TestNodeLatencyRDMARead(t *testing.T) {
+	readOnce := func(extra sim.Time) sim.Time {
+		r := newRig(t, 2, Defaults())
+		if extra > 0 {
+			r.fab.SetNodeLatency(1, extra)
+		}
+		mr := r.nics[1].RegisterMR(StaticSource(make([]byte, 64)), 64)
+		var done sim.Time
+		r.nodes[0].Spawn("reader", func(tk *simos.Task) {
+			r.nics[0].RDMARead(tk, 1, mr.Key(), 64, func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("read failed: %v", err)
+				}
+				done = r.eng.Now()
+			})
+		})
+		r.eng.RunUntil(sim.Second)
+		if done == 0 {
+			t.Fatal("read never completed")
+		}
+		return done
+	}
+	base := readOnce(0)
+	const extra = 250 * sim.Microsecond
+	slow := readOnce(extra)
+	// The model taxes each posted one-sided op once with the endpoint
+	// latency (it is folded into the op's completion time).
+	if slow != base+extra {
+		t.Fatalf("RDMA read against a slow node: %v, want %v + %v", slow, base, extra)
+	}
+}

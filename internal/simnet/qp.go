@@ -109,7 +109,7 @@ func (n *NIC) Dial(t *simos.Task, target int, then func(*QP, error)) {
 				t.Resume(dialCompletion{err: err})
 			})
 		}
-		var extra sim.Time
+		extra := f.heteroLat(n.node.ID, target)
 		if df, ok := f.Faults.(DialFaulter); ok && f.Faults != nil {
 			v := df.Dial(n.node.ID, target)
 			if v.Refuse {
@@ -117,7 +117,7 @@ func (n *NIC) Dial(t *simos.Task, target int, then func(*QP, error)) {
 				fail(2*f.xmit(64)+v.Delay, ErrRefused)
 				return
 			}
-			extra = v.Delay
+			extra += v.Delay
 		}
 		tn := f.nics[target]
 		if tn == nil {

@@ -187,6 +187,12 @@ type Fabric struct {
 	groups      map[string][]groupMember
 	established map[string]bool
 
+	// nodeLat is per-node extra one-way fabric latency (fleet
+	// heterogeneity: a node behind a slower NIC or an extra switch
+	// hop). Empty — the default — costs nothing on any path, so
+	// homogeneous fabrics stay bit-identical to the seed model.
+	nodeLat map[int]sim.Time
+
 	// Faults, when non-nil, perturbs deliveries and RDMA operations
 	// (see internal/faults). Install via SetFaults before traffic runs.
 	Faults FaultModel
@@ -231,6 +237,36 @@ func NewFabric(eng *sim.Engine, cfg Config) *Fabric {
 // fresh connection traffic and takes the drop+RTO path when the
 // receiver is distressed.
 func (f *Fabric) MarkEstablished(port string) { f.established[port] = true }
+
+// SetNodeLatency assigns node an extra one-way fabric latency on top
+// of the global WireLatency: every channel message, one-sided
+// operation and dial touching the node (as either endpoint) pays it.
+// This is the NIC-latency axis of fleet heterogeneity — a slow or
+// distant NIC delays traffic in both directions without perturbing
+// any other node's timing. d <= 0 removes the entry.
+func (f *Fabric) SetNodeLatency(node int, d sim.Time) {
+	if d <= 0 {
+		delete(f.nodeLat, node)
+		return
+	}
+	if f.nodeLat == nil {
+		f.nodeLat = make(map[int]sim.Time)
+	}
+	f.nodeLat[node] = d
+}
+
+// NodeLatency returns the extra one-way latency assigned to node.
+func (f *Fabric) NodeLatency(node int) sim.Time { return f.nodeLat[node] }
+
+// heteroLat is the extra latency a from->to traversal pays for the
+// endpoints' per-node latencies. The empty-map fast path keeps
+// homogeneous fabrics allocation- and branch-cheap.
+func (f *Fabric) heteroLat(from, to int) sim.Time {
+	if len(f.nodeLat) == 0 {
+		return 0
+	}
+	return f.nodeLat[from] + f.nodeLat[to]
+}
 
 // xmit returns the wire time for a payload of size bytes.
 func (f *Fabric) xmit(size int) sim.Time {
@@ -304,7 +340,7 @@ func (f *Fabric) deliver(from, dst int, port string, size int, payload any) {
 func (f *Fabric) SetFaults(fm FaultModel) { f.Faults = fm }
 
 func (f *Fabric) attempt(m simos.Message, dst int, port string, try int) {
-	var extra sim.Time
+	extra := f.heteroLat(m.From, dst)
 	if f.Faults != nil {
 		v := f.Faults.Channel(m.From, dst, m.Size)
 		if v.Drop {
@@ -317,7 +353,7 @@ func (f *Fabric) attempt(m simos.Message, dst int, port string, try int) {
 		if v.Dup && try == 0 {
 			f.Eng.After(f.Cfg.WireLatency, func() { f.transmit(m, dst, port, try, 0) })
 		}
-		extra = v.Delay
+		extra += v.Delay
 	}
 	f.transmit(m, dst, port, try, extra)
 }
@@ -534,7 +570,7 @@ func (n *NIC) Deregister(mr *MR) { delete(n.mrs, mr.key) }
 func (n *NIC) postRead(target int, key uint32, length int, dst []byte, done func(data []byte, err error)) {
 	f := n.fab
 	n.RDMAReads++
-	var extra sim.Time
+	extra := f.heteroLat(n.node.ID, target)
 	if f.Faults != nil {
 		v := f.Faults.RDMA(n.node.ID, target)
 		if v.Fail {
@@ -542,7 +578,7 @@ func (n *NIC) postRead(target int, key uint32, length int, dst []byte, done func
 			f.Eng.After(f.Cfg.RDMATimeout, func() { done(nil, ErrTimeout) })
 			return
 		}
-		extra = v.Delay
+		extra += v.Delay
 	}
 	f.Eng.After(f.xmit(16)+extra, func() { // request descriptor to target NIC
 		tn := f.nics[target]
@@ -696,7 +732,7 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 			then(v.(rdmaCompletion).err)
 		})
 		n.RDMAWrites++
-		var extra sim.Time
+		extra := f.heteroLat(n.node.ID, target)
 		if f.Faults != nil {
 			v := f.Faults.RDMA(n.node.ID, target)
 			if v.Fail {
@@ -705,7 +741,7 @@ func (n *NIC) RDMAWrite(t *simos.Task, target int, key uint32, data []byte, then
 				n.completeAfter(t, f.Cfg.RDMATimeout, rdmaCompletion{err: ErrTimeout})
 				return
 			}
-			extra = v.Delay
+			extra += v.Delay
 		}
 		f.Eng.After(f.xmit(16+len(payload))+extra, func() {
 			tn := f.nics[target]
@@ -773,7 +809,7 @@ func (n *NIC) RDMACompareSwap(t *simos.Task, target int, key uint32, compare, sw
 func (n *NIC) postCompSwap(target int, key uint32, compare, swap uint64, done func(prev uint64, err error)) {
 	f := n.fab
 	n.RDMAAtomics++
-	var extra sim.Time
+	extra := f.heteroLat(n.node.ID, target)
 	if f.Faults != nil {
 		v := f.Faults.RDMA(n.node.ID, target)
 		if v.Fail {
@@ -781,7 +817,7 @@ func (n *NIC) postCompSwap(target int, key uint32, compare, swap uint64, done fu
 			f.Eng.After(f.Cfg.RDMATimeout, func() { done(0, ErrTimeout) })
 			return
 		}
-		extra = v.Delay
+		extra += v.Delay
 	}
 	f.Eng.After(f.xmit(32)+extra, func() { // descriptor + compare + swap operands
 		tn := f.nics[target]
